@@ -1,0 +1,200 @@
+// Benchmarks that regenerate the paper's evaluation. One benchmark per
+// table/figure (DESIGN.md §3 maps them); each runs the corresponding
+// experiment from internal/bench and reports its headline figures as
+// custom metrics. Sizes default to a small smoke scale so the whole suite
+// completes quickly; set MIODB_BENCH_SCALE=1.0 for the full 1/1000-scaled
+// reproduction (also available as `go run ./cmd/miodb-repro -all`).
+//
+// Micro-benchmarks for the public API (Put/Get/Scan) follow at the end —
+// they are conventional testing.B loops with allocation reporting.
+package miodb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	"miodb/internal/bench"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("MIODB_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.05
+}
+
+// verbose mirrors experiment tables to stdout when -v is set via
+// MIODB_BENCH_VERBOSE.
+func benchOut() io.Writer {
+	if os.Getenv("MIODB_BENCH_VERBOSE") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := bench.FindExperiment(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p := bench.Params{Scale: benchScale(), Out: benchOut()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2_Motivation regenerates Figure 2 (baseline stalls,
+// deserialization, flush throughput, WA).
+func BenchmarkFig2_Motivation(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig6_MicroThroughput regenerates Figure 6 (db_bench throughput
+// vs value size, in-memory mode).
+func BenchmarkFig6_MicroThroughput(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkTable1_CostAnalysis regenerates Table 1 (stall/deserialize/
+// flush/WA cost breakdown).
+func BenchmarkTable1_CostAnalysis(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig7_YCSB regenerates Figure 7 (YCSB Load and A–F throughput).
+func BenchmarkFig7_YCSB(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkTable2_TailLatency regenerates Table 2 (workload A latency
+// percentiles, in-memory mode).
+func BenchmarkTable2_TailLatency(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig8_LatencyTimeline regenerates Figure 8 (latency-over-time
+// spikes).
+func BenchmarkFig8_LatencyTimeline(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9_LevelSweep regenerates Figure 9 (levels / compaction
+// threads sensitivity).
+func BenchmarkFig9_LevelSweep(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10_DatasetSweep regenerates Figure 10 (dataset size vs
+// throughput).
+func BenchmarkFig10_DatasetSweep(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11_WriteAmp regenerates Figure 11 (WA vs dataset size).
+func BenchmarkFig11_WriteAmp(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12_MemtableSweep regenerates Figure 12 (memtable size vs
+// flush latency/throughput).
+func BenchmarkFig12_MemtableSweep(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13_SSDMode regenerates Figure 13 (DRAM-NVM-SSD hierarchy
+// throughput).
+func BenchmarkFig13_SSDMode(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkTable3_SSDTailLatency regenerates Table 3 (workload A
+// percentiles in the hierarchy mode).
+func BenchmarkTable3_SSDTailLatency(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig14_BufferSweep regenerates Figure 14 (NVM buffer size
+// sensitivity).
+func BenchmarkFig14_BufferSweep(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkAblation_DesignChoices runs the MioDB design ablations
+// (one-piece flush, zero-copy merge, parallel compaction, bloom filters,
+// WAL).
+func BenchmarkAblation_DesignChoices(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkExtra_ScanSettle validates §5.2's workload-E prose claim
+// (scan throughput approaches NoveLSM-NoSST once compactions settle).
+func BenchmarkExtra_ScanSettle(b *testing.B) { runExperiment(b, "extra-escan") }
+
+// BenchmarkExtra_NoveLSMVariants compares the paper's Figure 1 NoveLSM
+// architectures (flat vs hierarchical vs NoSST).
+func BenchmarkExtra_NoveLSMVariants(b *testing.B) { runExperiment(b, "extra-novelsm") }
+
+// --- Public-API micro-benchmarks -----------------------------------------
+
+// BenchmarkPut measures the client write path (WAL append + memtable
+// insert) without device latency injection.
+func BenchmarkPut(b *testing.B) {
+	for _, vs := range []int{128, 1024, 4096} {
+		b.Run(fmt.Sprintf("value=%d", vs), func(b *testing.B) {
+			db, err := Open(&Options{MemTableSize: 1 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			value := make([]byte, vs)
+			key := make([]byte, 16)
+			b.ReportAllocs()
+			b.SetBytes(int64(vs + 16))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(key, fmt.Sprintf("%016d", i))
+				if err := db.Put(key, value); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGet measures point lookups against a settled store (most hits
+// come from the bottom-level repository, the paper's common case).
+func BenchmarkGet(b *testing.B) {
+	db, err := Open(&Options{MemTableSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 20000
+	value := make([]byte, 1024)
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("%016d", i)), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("%016d", i%n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScan measures ordered iteration over the repository.
+func BenchmarkScan(b *testing.B) {
+	db, err := Open(&Options{MemTableSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 20000
+	value := make([]byte, 256)
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("%016d", i)), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		err := db.Scan(nil, 1000, func(k, v []byte) bool {
+			count++
+			return true
+		})
+		if err != nil || count != 1000 {
+			b.Fatalf("scan: count=%d err=%v", count, err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command miodb-bench is the db_bench-style micro-benchmark driver
+// (LevelDB's db_bench, §5.1): it runs fillseq / fillrandom / readseq /
+// readrandom workloads against any of the four stores and reports
+// throughput, latency percentiles, and the store's cost accounting.
+//
+// Example:
+//
+//	miodb-bench -store miodb -benchmarks fillrandom,readrandom -num 20000 -value_size 4096
+//	miodb-bench -store novelsm -benchmarks fillseq,readseq -ssd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"miodb/internal/bench"
+	"miodb/internal/core"
+)
+
+func main() {
+	var (
+		store      = flag.String("store", "miodb", "store: miodb | leveldb | novelsm | novelsm-nosst | novelsm-hier | matrixkv")
+		benchmarks = flag.String("benchmarks", "fillrandom,readrandom", "comma-separated: fillseq,fillrandom,readseq,readrandom,stats")
+		num        = flag.Int("num", 20000, "number of entries")
+		reads      = flag.Int("reads", 0, "number of reads (default: num)")
+		valueSize  = flag.Int("value_size", 4096, "value size in bytes")
+		memtable   = flag.Int64("write_buffer_size", 64<<10, "memtable size in bytes")
+		levels     = flag.Int("levels", 8, "miodb elastic-buffer levels")
+		ssd        = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
+		seed       = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if *reads <= 0 {
+		*reads = *num
+	}
+
+	s, err := bench.OpenStore(bench.Config{
+		Kind:         bench.StoreKind(*store),
+		MemTableSize: *memtable,
+		Levels:       *levels,
+		SSD:          *ssd,
+		Simulate:     true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	fmt.Printf("store=%s entries=%d value_size=%d memtable=%d ssd=%v\n",
+		*store, *num, *valueSize, *memtable, *ssd)
+
+	report := func(name string, r bench.RunResult) {
+		fmt.Printf("%-12s : %8.1f KIOPS  (%d ops in %v; avg %.1fµs p99 %.1fµs p99.9 %.1fµs)\n",
+			name, r.KIOPS, r.Ops, r.Duration.Round(1e6),
+			r.Latency.Mean.Seconds()*1e6, r.Latency.P99.Seconds()*1e6, r.Latency.P999.Seconds()*1e6)
+	}
+
+	for _, b := range strings.Split(*benchmarks, ",") {
+		switch strings.TrimSpace(b) {
+		case "fillseq":
+			r, err := bench.FillSeq(s, *num, *valueSize, nil)
+			exitOn(err)
+			report("fillseq", r)
+		case "fillrandom":
+			r, err := bench.FillRandom(s, *num, uint64(*num), *valueSize, *seed, nil)
+			exitOn(err)
+			report("fillrandom", r)
+		case "readseq":
+			exitOn(s.Flush())
+			r, err := bench.ReadSeq(s, *reads)
+			exitOn(err)
+			report("readseq", r)
+		case "readrandom":
+			exitOn(s.Flush())
+			r, misses, err := bench.ReadRandom(s, *reads, uint64(*num), *seed+1)
+			exitOn(err)
+			report("readrandom", r)
+			if misses > 0 {
+				fmt.Printf("  (%d of %d reads missed — fillrandom leaves key gaps)\n", misses, *reads)
+			}
+		case "stats":
+			st := s.Stats()
+			fmt.Printf("stats        : WA=%.2f interval-stall=%v cumulative-stall=%v flush=%v×%d serialize=%v deserialize=%v\n",
+				st.WriteAmplification, st.IntervalStall.Round(1e6), st.CumulativeStall.Round(1e6),
+				st.FlushTime.Round(1e6), st.Flushes, st.SerializeTime.Round(1e6), st.DeserializeTime.Round(1e6))
+			for _, d := range st.Devices {
+				fmt.Printf("  device %-10s written=%dKB read=%dKB\n", d.Name, d.BytesWritten>>10, d.BytesRead>>10)
+			}
+			if ms, ok := s.(interface{ CompactionStats() []core.CompactionStats }); ok {
+				for _, ls := range ms.CompactionStats() {
+					if ls.Merges == 0 {
+						continue
+					}
+					fmt.Printf("  level %d: merges=%d nodes=%d garbage=%dKB\n",
+						ls.Level, ls.Merges, ls.NodesMoved, ls.GarbageBytes>>10)
+				}
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", b)
+			os.Exit(2)
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

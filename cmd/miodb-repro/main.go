@@ -1,0 +1,64 @@
+// Command miodb-repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	miodb-repro -list
+//	miodb-repro -experiment fig6 [-scale 1.0]
+//	miodb-repro -all [-scale 1.0]
+//
+// Scale 1.0 runs the full 1/1000-scaled reproduction (80 MB datasets);
+// smaller scales shrink datasets proportionally for quick passes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"miodb/internal/bench"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list experiments and exit")
+		experiment = flag.String("experiment", "", "experiment ID to run (fig2..fig14, table1..table3, ablation)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 = full 1/1000-scaled reproduction)")
+		seed       = flag.Int64("seed", 0, "workload seed override")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	p := bench.Params{Scale: *scale, Out: os.Stdout, Seed: *seed}
+	switch {
+	case *all:
+		start := time.Now()
+		if _, err := bench.RunAll(p); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nall experiments completed in %s\n", time.Since(start).Round(time.Second))
+	case *experiment != "":
+		e, ok := bench.FindExperiment(*experiment)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *experiment)
+			os.Exit(1)
+		}
+		start := time.Now()
+		if _, err := e.Run(p); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s completed in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,61 @@
+// Command miodb-server exposes any of the four stores over TCP with the
+// repository's length-prefixed binary protocol (internal/server), turning
+// the reproduction into a network-attachable KV service.
+//
+// Example:
+//
+//	miodb-server -addr 127.0.0.1:7707 -store miodb
+//
+// The matching Go client is internal/server.Client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"miodb/internal/bench"
+	"miodb/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
+		store    = flag.String("store", "miodb", "store: miodb | leveldb | novelsm | novelsm-nosst | novelsm-hier | matrixkv")
+		memtable = flag.Int64("write_buffer_size", 64<<10, "memtable size in bytes")
+		ssd      = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
+		simulate = flag.Bool("simulate", false, "enable device latency models")
+	)
+	flag.Parse()
+
+	s, err := bench.OpenStore(bench.Config{
+		Kind:         bench.StoreKind(*store),
+		MemTableSize: *memtable,
+		SSD:          *ssd,
+		Simulate:     *simulate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open store:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(s)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("miodb-server: store=%s listening on %s\n", *store, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	srv.Close()
+	if err := s.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "flush:", err)
+	}
+	s.Close()
+}

@@ -1,0 +1,84 @@
+package miodb_test
+
+import (
+	"fmt"
+
+	"miodb"
+)
+
+// ExampleOpen shows the minimal lifecycle.
+func ExampleOpen() {
+	db, err := miodb.Open(nil)
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("city/tokyo"), []byte("37M"))
+	v, _ := db.Get([]byte("city/tokyo"))
+	fmt.Println(string(v))
+	// Output: 37M
+}
+
+// ExampleDB_Scan shows bounded ordered iteration.
+func ExampleDB_Scan() {
+	db, _ := miodb.Open(nil)
+	defer db.Close()
+	for _, city := range []string{"lagos", "lima", "london", "luanda"} {
+		db.Put([]byte("city/"+city), []byte("x"))
+	}
+	db.Scan([]byte("city/li"), 2, func(k, v []byte) bool {
+		fmt.Println(string(k))
+		return true
+	})
+	// Output:
+	// city/lima
+	// city/london
+}
+
+// ExampleDB_Write shows atomic batches.
+func ExampleDB_Write() {
+	db, _ := miodb.Open(nil)
+	defer db.Close()
+
+	var b miodb.Batch
+	b.Put([]byte("acct/alice"), []byte("90"))
+	b.Put([]byte("acct/bob"), []byte("110"))
+	b.Delete([]byte("acct/mallory"))
+	if err := db.Write(&b); err != nil {
+		panic(err)
+	}
+	v, _ := db.Get([]byte("acct/bob"))
+	fmt.Println(string(v))
+	// Output: 110
+}
+
+// ExampleDB_Stats shows the paper's cost accounting.
+func ExampleDB_Stats() {
+	db, _ := miodb.Open(nil)
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), make([]byte, 512))
+	}
+	db.Flush()
+	st := db.Stats()
+	fmt.Println(st.IntervalStall) // MioDB's elastic buffer: no write stalls
+	// Output: 0s
+}
+
+// ExampleDB_NewIterator shows manual iteration with version pinning.
+func ExampleDB_NewIterator() {
+	db, _ := miodb.Open(nil)
+	defer db.Close()
+	db.Put([]byte("b"), []byte("2"))
+	db.Put([]byte("a"), []byte("1"))
+
+	it := db.NewIterator()
+	defer it.Close()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		fmt.Printf("%s=%s\n", it.Key(), it.Value())
+	}
+	// Output:
+	// a=1
+	// b=2
+}

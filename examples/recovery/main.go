@@ -1,0 +1,92 @@
+// Recovery: the crash-consistency walk-through of §4.7. The example
+// writes through the engine, simulates a power failure mid-stream (the
+// DRAM buffer is lost; the simulated NVM survives), recovers from the
+// superblock + write-ahead log, and verifies every acknowledged write —
+// including a second crash on the recovered store.
+//
+// It uses the engine package directly because crash injection is not part
+// of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"miodb/internal/core"
+)
+
+func main() {
+	opts := core.Options{MemTableSize: 16 << 10, Levels: 4}
+	db, err := core.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Write enough that data is spread across every tier: the live
+	// memtable (WAL only), the elastic buffer, and the repository.
+	const n = 3000
+	fmt.Printf("writing %d entries...\n", n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("account/%05d", i%1000)
+		v := fmt.Sprintf("balance=%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("repository holds %d keys; elastic buffer levels: %v\n",
+		db.RepositoryCount(), db.LevelTableCounts())
+
+	// Power cut. Background work is abandoned mid-flight; only the
+	// simulated NVM (superblock, WALs, PMTables, repository) survives.
+	fmt.Println("simulating power failure...")
+	img := db.CrashForTest()
+
+	re, err := core.Recover(img, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recovered: replayed WALs, re-attached PMTables, resumed compactions")
+
+	// Every acknowledged write must be visible with its newest value.
+	bad := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("account/%05d", i)
+		want := fmt.Sprintf("balance=%d", lastWrite(i, n))
+		got, err := re.Get([]byte(k))
+		if err != nil || string(got) != want {
+			bad++
+		}
+	}
+	fmt.Printf("verification: %d/1000 keys wrong after recovery\n", bad)
+
+	// Crash again immediately — recovery must be idempotent.
+	fmt.Println("simulating a second power failure...")
+	img2 := re.CrashForTest()
+	re2, err := core.Recover(img2, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer re2.Close()
+	bad = 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("account/%05d", i)
+		want := fmt.Sprintf("balance=%d", lastWrite(i, n))
+		got, err := re2.Get([]byte(k))
+		if err != nil || string(got) != want {
+			bad++
+		}
+	}
+	fmt.Printf("after double crash: %d/1000 keys wrong\n", bad)
+	if bad == 0 {
+		fmt.Println("all acknowledged writes survived both crashes")
+	}
+}
+
+// lastWrite returns the value index of the final write to key i%1000.
+func lastWrite(key, n int) int {
+	last := key
+	for v := key; v < n; v += 1000 {
+		last = v
+	}
+	return last
+}

@@ -1,0 +1,88 @@
+// Timeseries: an append-mostly telemetry workload — sequential inserts of
+// timestamped samples followed by time-range queries. Sequential writes
+// are LSM stores' best case; this example shows the iterator API and how
+// range scans behave once the data has settled into the bottom-level
+// repository (one big sorted skip list — the paper's scan-friendly
+// structure, §5.2 workload E discussion).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"miodb"
+)
+
+const (
+	series  = 4
+	samples = 5000
+)
+
+// sampleKey encodes series/timestamp so samples sort by series, then time.
+func sampleKey(series int, ts int64) []byte {
+	return []byte(fmt.Sprintf("metric/%02d/%012d", series, ts))
+}
+
+func main() {
+	db, err := miodb.Open(&miodb.Options{Simulate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Ingest: interleaved sequential appends across a few series.
+	fmt.Printf("ingesting %d samples across %d series...\n", series*samples, series)
+	start := time.Now()
+	base := int64(1_700_000_000_000)
+	for t := 0; t < samples; t++ {
+		for s := 0; s < series; s++ {
+			value := fmt.Sprintf("%d.%03d", 20+s, t%997)
+			if err := db.Put(sampleKey(s, base+int64(t)*1000), []byte(value)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("ingested in %v (%.1f KIOPS)\n",
+		elapsed.Round(time.Millisecond),
+		float64(series*samples)/elapsed.Seconds()/1000)
+
+	// Let compaction settle everything into the repository, then scan.
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Range query: one hour of series 2.
+	from := sampleKey(2, base+1000*1000)
+	n := 0
+	scanStart := time.Now()
+	err = db.Scan(from, 3600, func(k, v []byte) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query: %d samples in %v\n", n, time.Since(scanStart).Round(time.Microsecond))
+
+	// Full-series iteration via the iterator API.
+	it := db.NewIterator()
+	defer it.Close()
+	count := 0
+	first, last := "", ""
+	for it.Seek([]byte("metric/03/")); it.Valid(); it.Next() {
+		if string(it.Key()) >= "metric/04/" {
+			break
+		}
+		if count == 0 {
+			first = string(it.Key())
+		}
+		last = string(it.Key())
+		count++
+	}
+	fmt.Printf("series 03: %d samples, %s .. %s\n", count, first, last)
+
+	st := db.Stats()
+	fmt.Printf("sequential ingest write amplification: %.2f\n", st.WriteAmplification)
+}

@@ -1,0 +1,3 @@
+module miodb
+
+go 1.22

@@ -1,0 +1,60 @@
+package matrixkv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"miodb/internal/keys"
+	"miodb/internal/memtable"
+	"miodb/internal/nvm"
+	"miodb/internal/vaddr"
+)
+
+func TestRowBuildAndLookup(t *testing.T) {
+	space := vaddr.NewSpace()
+	dram := nvm.NewDevice(space, nvm.DRAMProfile())
+	nv := nvm.NewDevice(space, nvm.NVMProfile())
+	mt, _ := memtable.New(dram, 1<<30, 8<<10)
+	rnd := rand.New(rand.NewSource(1))
+	golden := map[string]string{}
+	goldenSeq := map[string]uint64{}
+	for seq := uint64(1); seq <= 2000; seq++ {
+		k := fmt.Sprintf("key-%05d", rnd.Intn(700))
+		v := fmt.Sprintf("val-%d-%d", seq, rnd.Intn(1000))
+		if err := mt.Add([]byte(k), []byte(v), seq, keys.KindSet); err != nil {
+			t.Fatal(err)
+		}
+		golden[k] = v
+		goldenSeq[k] = seq
+	}
+	r := buildRow(nv, 1, mt, 8<<10, nil)
+	if r.count != 2000 {
+		t.Fatalf("row count = %d", r.count)
+	}
+	for k, v := range golden {
+		val, seq, _, ok := r.get([]byte(k), nil)
+		if !ok {
+			t.Fatalf("row.get(%s) missing", k)
+		}
+		if string(val) != v || seq != goldenSeq[k] {
+			t.Fatalf("row.get(%s) = %q seq=%d, want %q seq=%d", k, val, seq, v, goldenSeq[k])
+		}
+	}
+	// Full iteration in order.
+	it := r.newIter(nil)
+	n := 0
+	var prevKey []byte
+	var prevSeq uint64
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if prevKey != nil && keys.Compare(prevKey, prevSeq, it.Key(), it.Seq()) >= 0 {
+			t.Fatalf("row iteration out of order at %q", it.Key())
+		}
+		prevKey = append(prevKey[:0], it.Key()...)
+		prevSeq = it.Seq()
+		n++
+	}
+	if n != 2000 {
+		t.Fatalf("iterated %d entries", n)
+	}
+}

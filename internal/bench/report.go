@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report collects an experiment's output as formatted text plus the raw
+// rows, so EXPERIMENTS.md generation and tests can assert on shapes.
+type Report struct {
+	ID    string
+	Title string
+	w     io.Writer
+	lines []string
+}
+
+// NewReport starts a report mirrored to w (may be nil).
+func NewReport(id, title string, w io.Writer) *Report {
+	r := &Report{ID: id, Title: title, w: w}
+	r.Printf("=== %s: %s ===", id, title)
+	return r
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...interface{}) {
+	line := fmt.Sprintf(format, args...)
+	r.lines = append(r.lines, line)
+	if r.w != nil {
+		fmt.Fprintln(r.w, line)
+	}
+}
+
+// Table prints a fixed-width table with a header.
+func (r *Report) Table(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+		}
+		return sb.String()
+	}
+	r.Printf("%s", line(header))
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	r.Printf("%s", line(sep))
+	for _, row := range rows {
+		r.Printf("%s", line(row))
+	}
+}
+
+// Lines returns everything printed so far.
+func (r *Report) Lines() []string { return append([]string(nil), r.lines...) }
+
+// String joins the report's lines.
+func (r *Report) String() string { return strings.Join(r.lines, "\n") }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func usec(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.1f", d.Seconds()*1e6)
+}
+
+func msec(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.1f", d.Seconds()*1e3)
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"miodb/internal/histogram"
+	"miodb/internal/kvstore"
+	"miodb/internal/ycsb"
+)
+
+// RunResult summarizes one workload phase.
+type RunResult struct {
+	Ops      int64
+	Duration time.Duration
+	// KIOPS is throughput in thousand operations per second — the unit
+	// the paper's Figures 6, 7, 13, 14 use.
+	KIOPS float64
+	// Latency holds the per-op latency distribution (Tables 2/3).
+	Latency histogram.Snapshot
+	// Timeline, when requested, bins latencies over elapsed time (Fig 8).
+	Timeline *histogram.Timeline
+}
+
+func finishRun(ops int64, dur time.Duration, h *histogram.Histogram, tl *histogram.Timeline) RunResult {
+	r := RunResult{Ops: ops, Duration: dur, Timeline: tl}
+	if dur > 0 {
+		r.KIOPS = float64(ops) / dur.Seconds() / 1000
+	}
+	if h != nil {
+		r.Latency = h.Snapshot()
+	}
+	return r
+}
+
+// dbKey renders a db_bench-style 16-byte key.
+func dbKey(i uint64) []byte { return []byte(fmt.Sprintf("%016d", i)) }
+
+// dbValue builds a pseudo-random value; distinct per (index, generation).
+func dbValue(i uint64, gen, size int) []byte {
+	v := make([]byte, size)
+	rnd := rand.New(rand.NewSource(int64(i)*1099511628211 + int64(gen)))
+	rnd.Read(v)
+	return v
+}
+
+// FillRandom writes n entries with keys drawn uniformly from [0, keySpace)
+// in random order — db_bench's fillrandom. Returns throughput/latency.
+func FillRandom(s kvstore.Store, n int, keySpace uint64, valueSize int, seed int64, tl *histogram.Timeline) (RunResult, error) {
+	h := histogram.New()
+	rnd := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		k := dbKey(uint64(rnd.Int63()) % keySpace)
+		v := dbValue(uint64(i), 0, valueSize)
+		t0 := time.Now()
+		if err := s.Put(k, v); err != nil {
+			return RunResult{}, err
+		}
+		d := time.Since(t0)
+		h.Record(d)
+		if tl != nil {
+			tl.Record(d)
+		}
+	}
+	return finishRun(int64(n), time.Since(start), h, tl), nil
+}
+
+// FillSeq writes n entries with ascending keys — db_bench's fillseq.
+func FillSeq(s kvstore.Store, n int, valueSize int, tl *histogram.Timeline) (RunResult, error) {
+	h := histogram.New()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := s.Put(dbKey(uint64(i)), dbValue(uint64(i), 0, valueSize)); err != nil {
+			return RunResult{}, err
+		}
+		d := time.Since(t0)
+		h.Record(d)
+		if tl != nil {
+			tl.Record(d)
+		}
+	}
+	return finishRun(int64(n), time.Since(start), h, tl), nil
+}
+
+// ReadRandom issues n point lookups over keys known to exist (written by
+// FillSeq/FillRandom over [0, keySpace)) — db_bench's readrandom.
+// Misses (possible under fillrandom, which may not touch every key) are
+// tolerated but counted.
+func ReadRandom(s kvstore.Store, n int, keySpace uint64, seed int64) (RunResult, int, error) {
+	h := histogram.New()
+	rnd := rand.New(rand.NewSource(seed))
+	misses := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		k := dbKey(uint64(rnd.Int63()) % keySpace)
+		t0 := time.Now()
+		_, err := s.Get(k)
+		h.Record(time.Since(t0))
+		if err == kvstore.ErrNotFound {
+			misses++
+		} else if err != nil {
+			return RunResult{}, misses, err
+		}
+	}
+	return finishRun(int64(n), time.Since(start), h, nil), misses, nil
+}
+
+// ReadSeq scans n entries in key order — db_bench's readseq.
+func ReadSeq(s kvstore.Store, n int) (RunResult, error) {
+	h := histogram.New()
+	start := time.Now()
+	count := 0
+	t0 := time.Now()
+	err := s.Scan(nil, n, func(k, v []byte) bool {
+		h.Record(time.Since(t0))
+		count++
+		t0 = time.Now()
+		return true
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	return finishRun(int64(count), time.Since(start), h, nil), nil
+}
+
+// YCSBLoad inserts records user0..user(n-1) with the given value size —
+// the YCSB load phase the paper runs before workloads A–F.
+func YCSBLoad(s kvstore.Store, records uint64, valueSize int) (RunResult, error) {
+	h := histogram.New()
+	start := time.Now()
+	for i := uint64(0); i < records; i++ {
+		t0 := time.Now()
+		if err := s.Put(ycsb.Key(i), ycsb.Value(i, 0, valueSize)); err != nil {
+			return RunResult{}, err
+		}
+		h.Record(time.Since(t0))
+	}
+	return finishRun(int64(records), time.Since(start), h, nil), nil
+}
+
+// YCSBRun executes ops operations of the named workload (A–F) against a
+// store pre-loaded with records entries.
+func YCSBRun(s kvstore.Store, letter string, ops int, records uint64, valueSize int, seed int64, tl *histogram.Timeline) (RunResult, error) {
+	w, err := ycsb.StandardWorkload(letter, records, seed)
+	if err != nil {
+		return RunResult{}, err
+	}
+	g := ycsb.NewGenerator(w, records, seed+1)
+	h := histogram.New()
+	gen := 1
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		op := g.Next()
+		t0 := time.Now()
+		switch op.Kind {
+		case ycsb.OpRead:
+			if _, err := s.Get(ycsb.Key(op.KeyIdx)); err != nil && err != kvstore.ErrNotFound {
+				return RunResult{}, err
+			}
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			if err := s.Put(ycsb.Key(op.KeyIdx), ycsb.Value(op.KeyIdx, gen, valueSize)); err != nil {
+				return RunResult{}, err
+			}
+		case ycsb.OpScan:
+			err := s.Scan(ycsb.Key(op.KeyIdx), op.ScanLen, func(k, v []byte) bool { return true })
+			if err != nil {
+				return RunResult{}, err
+			}
+		case ycsb.OpReadModifyWrite:
+			if _, err := s.Get(ycsb.Key(op.KeyIdx)); err != nil && err != kvstore.ErrNotFound {
+				return RunResult{}, err
+			}
+			if err := s.Put(ycsb.Key(op.KeyIdx), ycsb.Value(op.KeyIdx, gen, valueSize)); err != nil {
+				return RunResult{}, err
+			}
+		}
+		d := time.Since(t0)
+		h.Record(d)
+		if tl != nil {
+			tl.Record(d)
+		}
+	}
+	return finishRun(int64(ops), time.Since(start), h, tl), nil
+}

@@ -1,0 +1,202 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5). It provides:
+//
+//   - a uniform store factory over MioDB and the three baselines, with the
+//     paper's configuration scaled 1/1000 (DESIGN.md §1);
+//   - db_bench-style micro-benchmark runners (fillseq/fillrandom/
+//     readseq/readrandom) and a YCSB driver;
+//   - one experiment function per paper table/figure, each printing the
+//     rows/series the paper reports (see experiments.go and DESIGN.md §3).
+package bench
+
+import (
+	"fmt"
+
+	"miodb/internal/baseline/leveldbkv"
+	"miodb/internal/baseline/matrixkv"
+	"miodb/internal/baseline/novelsm"
+	"miodb/internal/core"
+	"miodb/internal/kvstore"
+	"miodb/internal/lsm"
+	"miodb/internal/vfs"
+)
+
+// StoreKind names one of the systems under comparison.
+type StoreKind string
+
+// The comparison set of §5.
+const (
+	MioDB        StoreKind = "miodb"
+	LevelDB      StoreKind = "leveldb"
+	NoveLSM      StoreKind = "novelsm"
+	NoveLSMNoSST StoreKind = "novelsm-nosst"
+	NoveLSMHier  StoreKind = "novelsm-hier"
+	MatrixKV     StoreKind = "matrixkv"
+)
+
+// Config is the shared store configuration; zero fields take the paper's
+// scaled defaults.
+type Config struct {
+	Kind StoreKind
+
+	// MemTableSize is the DRAM buffer (paper 64 MB → 64 KB).
+	MemTableSize int64
+	// NVMBufferSize is NoveLSM's NVM memtable / MatrixKV's container
+	// budget (paper 4–8 GB → 4–8 MB).
+	NVMBufferSize int64
+	// Levels is MioDB's elastic-buffer depth (paper default 8).
+	Levels int
+	// SSD switches the block tier to the SSD profile (the §5.4
+	// DRAM-NVM-SSD hierarchy); otherwise baselines keep SSTables on
+	// NVM-as-block and MioDB uses the in-NVM repository.
+	SSD bool
+	// Simulate enables the device latency models (on for benchmarks).
+	Simulate bool
+	// TimeScale scales injected latencies.
+	TimeScale float64
+
+	// MioDB ablation switches (nil = paper defaults).
+	ParallelCompaction *bool
+	ZeroCopyMerge      *bool
+	OnePieceFlush      *bool
+	DisableBloom       bool
+	DisableWAL         bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemTableSize <= 0 {
+		c.MemTableSize = 64 << 10
+	}
+	if c.NVMBufferSize <= 0 {
+		if c.Kind == MatrixKV {
+			c.NVMBufferSize = 8 << 20
+		} else {
+			c.NVMBufferSize = 4 << 20
+		}
+	}
+	if c.Levels <= 0 {
+		c.Levels = 8
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	return c
+}
+
+// Store extends kvstore.Store with the counter reset the harness uses
+// between load and measure phases.
+type Store interface {
+	kvstore.Store
+	ResetCounters()
+}
+
+// miodbStore adapts core.DB to the harness interface.
+type miodbStore struct{ *core.DB }
+
+func (s miodbStore) Flush() error { return s.DB.FlushAll() }
+
+// lsmOptions builds the shared leveled-tree configuration (64 KB tables,
+// 10× fanout — the paper's "64 MB SSTables with an amplification factor
+// of 10", scaled).
+func lsmOptions() lsm.Options {
+	return lsm.Options{
+		TableSize: 64 << 10,
+		L1Size:    640 << 10,
+		Fanout:    10,
+		NumLevels: 7,
+	}
+}
+
+func (c Config) disk() *vfs.Disk {
+	if c.SSD {
+		return vfs.NewDisk(vfs.SSDProfile())
+	}
+	return vfs.NewDisk(vfs.NVMBlockProfile())
+}
+
+// OpenStore builds the requested system.
+func OpenStore(c Config) (Store, error) {
+	c = c.withDefaults()
+	switch c.Kind {
+	case MioDB:
+		opts := core.Options{
+			MemTableSize:       c.MemTableSize,
+			Levels:             c.Levels,
+			Simulate:           c.Simulate,
+			TimeScale:          c.TimeScale,
+			ParallelCompaction: c.ParallelCompaction,
+			ZeroCopyMerge:      c.ZeroCopyMerge,
+			OnePieceFlush:      c.OnePieceFlush,
+			DisableWAL:         c.DisableWAL,
+		}
+		if c.DisableBloom {
+			opts.BloomBitsPerKey = -1
+		}
+		if c.SSD {
+			opts.SSD = &core.SSDOptions{
+				Disk: vfs.NewDisk(vfs.SSDProfile()),
+				LSM:  lsmOptions(),
+			}
+		}
+		db, err := core.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		return miodbStore{db}, nil
+
+	case LevelDB:
+		return leveldbkv.Open(leveldbkv.Options{
+			MemTableSize: c.MemTableSize,
+			Disk:         c.disk(),
+			LSM:          lsmOptions(),
+			Simulate:     c.Simulate,
+			TimeScale:    c.TimeScale,
+			DisableWAL:   c.DisableWAL,
+		})
+
+	case NoveLSM:
+		return novelsm.Open(novelsm.Options{
+			MemTableSize:  c.MemTableSize,
+			NVMBufferSize: c.NVMBufferSize,
+			Disk:          c.disk(),
+			LSM:           lsmOptions(),
+			Simulate:      c.Simulate,
+			TimeScale:     c.TimeScale,
+			DisableWAL:    c.DisableWAL,
+		})
+
+	case NoveLSMNoSST:
+		return novelsm.Open(novelsm.Options{
+			MemTableSize:  c.MemTableSize,
+			NVMBufferSize: c.NVMBufferSize,
+			NoSST:         true,
+			Simulate:      c.Simulate,
+			TimeScale:     c.TimeScale,
+			DisableWAL:    c.DisableWAL,
+		})
+
+	case NoveLSMHier:
+		return novelsm.Open(novelsm.Options{
+			MemTableSize:  c.MemTableSize,
+			NVMBufferSize: c.NVMBufferSize,
+			Hierarchical:  true,
+			Disk:          c.disk(),
+			LSM:           lsmOptions(),
+			Simulate:      c.Simulate,
+			TimeScale:     c.TimeScale,
+			DisableWAL:    c.DisableWAL,
+		})
+
+	case MatrixKV:
+		return matrixkv.Open(matrixkv.Options{
+			MemTableSize:  c.MemTableSize,
+			NVMBufferSize: c.NVMBufferSize,
+			Disk:          c.disk(),
+			LSM:           lsmOptions(),
+			Simulate:      c.Simulate,
+			TimeScale:     c.TimeScale,
+			DisableWAL:    c.DisableWAL,
+		})
+	}
+	return nil, fmt.Errorf("bench: unknown store kind %q", c.Kind)
+}

@@ -1,0 +1,140 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 16)
+	for i := 0; i < 1000; i++ {
+		f.Add(key(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain(key(i)) {
+			t.Fatalf("false negative for %s", key(i))
+		}
+	}
+	if f.Keys() != 1000 {
+		t.Errorf("Keys() = %d", f.Keys())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := New(10000, 16)
+	for i := 0; i < 10000; i++ {
+		f.Add(key(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%08d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	// 16 bits/key with 11 probes has theoretical FPR ≈ 4.6e-4;
+	// allow generous slack for hash quality.
+	if rate > 0.01 {
+		t.Errorf("false positive rate %.4f too high", rate)
+	}
+	if est := f.FalsePositiveRate(); est > 0.01 {
+		t.Errorf("estimated FPR %.4f too high", est)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(1000, 16)
+	b := New(1000, 16)
+	for i := 0; i < 500; i++ {
+		a.Add(key(i))
+	}
+	for i := 500; i < 1000; i++ {
+		b.Add(key(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if !a.MayContain(key(i)) {
+			t.Fatalf("merged filter lost %s", key(i))
+		}
+	}
+	if a.Keys() != 1000 {
+		t.Errorf("merged Keys() = %d", a.Keys())
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	a := New(1000, 16)
+	b := New(100000, 16)
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different-size filters should fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merging nil should be a no-op, got %v", err)
+	}
+}
+
+func TestMergeEqualsUnion(t *testing.T) {
+	// Property: a key added to either side is present after merge.
+	f := func(ks [][]byte) bool {
+		a, b := New(64, 16), New(64, 16)
+		for i, k := range ks {
+			if i%2 == 0 {
+				a.Add(k)
+			} else {
+				b.Add(k)
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		for _, k := range ks {
+			if !a.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := New(256, 16)
+	for i := 0; i < 256; i++ {
+		f.Add(key(i))
+	}
+	dec, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if !dec.MayContain(key(i)) {
+			t.Fatalf("decoded filter lost %s", key(i))
+		}
+	}
+	if dec.Keys() != f.Keys() || dec.probes != f.probes {
+		t.Error("decoded metadata mismatch")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("Decode of garbage should fail")
+	}
+}
+
+func TestTinyAndDegenerateFilters(t *testing.T) {
+	f := New(0, 0) // clamped internally
+	f.Add([]byte("x"))
+	if !f.MayContain([]byte("x")) {
+		t.Error("tiny filter false negative")
+	}
+	empty := New(100, 16)
+	if empty.FillRatio() != 0 {
+		t.Error("empty filter has set bits")
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBatchWriteAndVisibility(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	var b Batch
+	for i := 0; i < 100; i++ {
+		b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Delete([]byte("k050"))
+	if b.Len() != 101 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, err := db.Get([]byte(k))
+		if i == 50 {
+			if err != ErrNotFound {
+				t.Fatalf("deleted key in batch visible: %v", err)
+			}
+			continue
+		}
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, err)
+		}
+	}
+	// Sequences continue correctly for later writes.
+	if err := db.Put([]byte("after"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte("after")); err != nil || string(v) != "x" {
+		t.Fatal("post-batch write broken")
+	}
+}
+
+func TestBatchEmptyAndInvalid(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	if err := db.Write(nil); err != nil {
+		t.Errorf("nil batch: %v", err)
+	}
+	var empty Batch
+	if err := db.Write(&empty); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	var bad Batch
+	bad.Put(nil, []byte("v"))
+	if err := db.Write(&bad); err == nil {
+		t.Error("empty key in batch accepted")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	var b Batch
+	b.Put([]byte("k"), []byte("v"))
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+}
+
+func TestBatchSurvivesCrash(t *testing.T) {
+	opts := smallOpts()
+	opts.MemTableSize = 1 << 20 // keep everything in the WAL
+	db := mustOpen(t, opts)
+
+	var b Batch
+	for i := 0; i < 200; i++ {
+		b.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	img := db.CrashForTest()
+	re, err := Recover(img, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%03d", i)
+		v, err := re.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after crash Get(%s) = %q, %v", k, v, err)
+		}
+	}
+}
+
+func TestBatchOverwriteOrdering(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	var b Batch
+	b.Put([]byte("k"), []byte("first"))
+	b.Put([]byte("k"), []byte("second"))
+	b.Delete([]byte("k"))
+	b.Put([]byte("k"), []byte("final"))
+	if err := db.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("k"))
+	if err != nil || string(v) != "final" {
+		t.Fatalf("Get = %q, %v; batch ops must apply in order", v, err)
+	}
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"time"
+
+	"miodb/internal/iterx"
+	"miodb/internal/pmtable"
+)
+
+// compactLoop is the per-level zero-copy compaction thread (§4.5): as soon
+// as its level holds two PMTables, it merges the two oldest and pushes the
+// result into the level below. Levels are unbounded, so a slow merge below
+// never blocks a merge above — the non-blocking parallel compaction that
+// distinguishes MioDB from RocksDB-style parallel compaction.
+func (db *DB) compactLoop(level int) {
+	defer db.wg.Done()
+	for {
+		db.mu.Lock()
+		for !db.levelNeedsMergeLocked(level) && !db.closed {
+			db.cond.Wait()
+		}
+		if db.abandon || (db.closed && !db.levelNeedsMergeLocked(level)) {
+			db.mu.Unlock()
+			return
+		}
+		db.mu.Unlock()
+		db.mergeOnce(level)
+	}
+}
+
+// singleCompactLoop is the ablation counterpart: one goroutine serves
+// every level round-robin, plus the lazy-copy duty.
+func (db *DB) singleCompactLoop() {
+	defer db.wg.Done()
+	for {
+		worked := false
+		for level := 0; level < db.opts.Levels-1; level++ {
+			db.mu.Lock()
+			need := db.levelNeedsMergeLocked(level)
+			db.mu.Unlock()
+			if need {
+				db.mergeOnce(level)
+				worked = true
+			}
+		}
+		if worked {
+			continue
+		}
+		db.mu.Lock()
+		if db.closed || db.abandon {
+			db.mu.Unlock()
+			return
+		}
+		if !db.anyMergeNeededLocked() {
+			db.cond.Wait()
+		}
+		stop := db.closed || db.abandon
+		db.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+func (db *DB) anyMergeNeededLocked() bool {
+	for level := 0; level < db.opts.Levels-1; level++ {
+		if db.levelNeedsMergeLocked(level) {
+			return true
+		}
+	}
+	return false
+}
+
+// levelNeedsMergeLocked reports whether the level has two settled tables
+// ready to merge (an in-flight merge in the level defers further picks).
+func (db *DB) levelNeedsMergeLocked(level int) bool {
+	if db.mergeActiveLocked(level) {
+		return false
+	}
+	n := 0
+	for _, e := range db.current.levels[level] {
+		if _, ok := e.(tableEntry); ok {
+			n++
+		}
+	}
+	return n >= 2
+}
+
+func (db *DB) mergeActiveLocked(level int) bool {
+	for _, am := range db.merges {
+		if am.level == level {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeOnce zero-copy-merges the two oldest tables of the level and
+// installs the result in the level below.
+func (db *DB) mergeOnce(level int) {
+	start := time.Now()
+
+	// Pick the two oldest settled tables (the tail of the newest-first
+	// list) and replace them by a merge entry readers know how to probe.
+	db.mu.Lock()
+	entries := db.current.levels[level]
+	if db.mergeActiveLocked(level) || len(entries) < 2 {
+		db.mu.Unlock()
+		return
+	}
+	oldE, ok1 := entries[len(entries)-1].(tableEntry)
+	newE, ok2 := entries[len(entries)-2].(tableEntry)
+	if !ok1 || !ok2 {
+		db.mu.Unlock()
+		return
+	}
+	m := pmtable.NewMerge(newE.t, oldE.t)
+	m.SetPersistSlot(db.manifest.region(), db.markSlots[level])
+	am := &activeMerge{level: level, merge: m, newID: newE.t.ID, oldID: oldE.t.ID}
+	db.merges = append(db.merges, am)
+	// Publish the merge on both tables before any node migrates, so
+	// readers holding pre-merge version snapshots switch to the
+	// mark-aware read protocol (see pmtable.Table.GetSafe).
+	newE.t.SetActiveMerge(m)
+	oldE.t.SetActiveMerge(m)
+	db.editVersionLocked(func(v *version) {
+		lv := v.levels[level]
+		v.levels[level] = append(lv[:len(lv)-2:len(lv)-2], mergeEntry{m})
+	})
+	db.logMergeStartLocked(level, am.newID, am.oldID)
+	db.mu.Unlock()
+
+	var result *pmtable.Table
+	if *db.opts.ZeroCopyMerge {
+		result = m.Run()
+	} else {
+		result = db.copyMerge(m)
+	}
+
+	// Install: drop the merge entry from this level, publish the result
+	// as the newest table of the next level (everything arriving from
+	// above is newer than the level's current content).
+	db.mu.Lock()
+	for i, a := range db.merges {
+		if a == am {
+			db.merges = append(db.merges[:i], db.merges[i+1:]...)
+			break
+		}
+	}
+	db.editVersionLocked(func(v *version) {
+		lv := v.levels[level]
+		for i, e := range lv {
+			if me, ok := e.(mergeEntry); ok && me.m == m {
+				v.levels[level] = append(lv[:i:i], lv[i+1:]...)
+				break
+			}
+		}
+		v.levels[level+1] = append([]levelEntry{tableEntry{result}}, v.levels[level+1]...)
+	})
+	// The merge is over: stale readers may finish their raw probes (the
+	// drained pair is now quiescent — an empty newtable and the complete
+	// result list — so raw reads are correct again).
+	m.New.SetActiveMerge(nil)
+	m.Old.SetActiveMerge(nil)
+	// The result now owns every arena; sever the drained skeletons'
+	// ownership under the structural lock (manifest snapshots read
+	// Regions() under the same lock).
+	m.New.DropRegions()
+	m.Old.DropRegions()
+	db.levelStats[level].merges++
+	db.levelStats[level].nodesMoved += m.Moved()
+	db.levelStats[level].garbageBytes += m.Garbage()
+	db.logMergeDoneLocked(level, am.newID, am.oldID, tableToState(result))
+	db.mu.Unlock()
+
+	db.st.AddCompaction(time.Since(start))
+}
+
+// copyMerge is the non-zero-copy ablation: physically rebuild the pair
+// into a fresh arena, then release the source arenas (deferred).
+func (db *DB) copyMerge(m *pmtable.Merge) *pmtable.Table {
+	merged := iterx.NewMerging(m.New.NewIterator(), m.Old.NewIterator())
+	result, err := pmtable.Build(db.nvm, db.opts.ChunkSize, merged, m.New.ID, db.fp)
+	if err != nil {
+		panic(err)
+	}
+	result.MinSeq, result.MaxSeq = m.Old.MinSeq, m.New.MaxSeq
+	newT, oldT := m.New, m.Old
+	db.mu.Lock()
+	db.current.releaseFns = append(db.current.releaseFns, func() {
+		newT.ReleaseRegions(db.nvm)
+		oldT.ReleaseRegions(db.nvm)
+	})
+	db.mu.Unlock()
+	return result
+}
+
+// lazyLoop drains the last buffer level into the repository (in-memory
+// mode) or into L0 SSTables on the SSD (hierarchy mode), oldest table
+// first — the lazy-copy compaction of §4.4. Afterwards it releases every
+// arena the absorbed table owned, once no reader version references them.
+func (db *DB) lazyLoop() {
+	defer db.wg.Done()
+	last := db.opts.Levels - 1
+	for {
+		db.mu.Lock()
+		for !db.lazyWorkLocked(last) && !db.closed {
+			db.cond.Wait()
+		}
+		if db.abandon || (db.closed && !db.lazyWorkLocked(last)) {
+			db.mu.Unlock()
+			return
+		}
+		entries := db.current.levels[last]
+		e := entries[len(entries)-1].(tableEntry) // oldest
+		db.mu.Unlock()
+
+		db.lazyOne(last, e.t)
+	}
+}
+
+// lazyWorkLocked reports whether the bottom buffer level has a settled
+// table to absorb.
+func (db *DB) lazyWorkLocked(last int) bool {
+	entries := db.current.levels[last]
+	if len(entries) == 0 {
+		return false
+	}
+	_, ok := entries[len(entries)-1].(tableEntry)
+	return ok
+}
+
+func (db *DB) lazyOne(last int, t *pmtable.Table) {
+	start := time.Now()
+	db.mu.Lock()
+	repo := db.repo
+	db.mu.Unlock()
+	if repo != nil {
+		if err := repo.Absorb(t); err != nil {
+			panic(err)
+		}
+	} else {
+		// DRAM-NVM-SSD mode: serialize the PMTable into an L0 SSTable.
+		if err := db.ssd.FlushToL0(t.NewIterator()); err != nil {
+			panic(err)
+		}
+		t.MarkReclaimable()
+	}
+
+	db.mu.Lock()
+	db.editVersionLocked(func(v *version) {
+		lv := v.levels[last]
+		for i, e := range lv {
+			if te, ok := e.(tableEntry); ok && te.t == t {
+				v.levels[last] = append(lv[:i:i], lv[i+1:]...)
+				break
+			}
+		}
+	}, func() {
+		// The paper's lazy memory freeing: every arena the absorbed
+		// table accumulated across its zero-copy merges is returned at
+		// once, after the last reader drains.
+		t.ReleaseRegions(db.nvm)
+	})
+	db.levelStats[last].merges++
+	db.levelStats[last].nodesMoved += t.Count()
+	db.levelStats[last].garbageBytes += t.Garbage()
+	db.logLazyDoneLocked(last, t.ID)
+	db.mu.Unlock()
+
+	db.maybeCompactRepo()
+	db.st.AddCompaction(time.Since(start))
+}
+
+// maybeCompactRepo rebuilds the repository when superseded nodes dominate
+// it, bounding the NVM footprint of update-heavy workloads. Triggering
+// only when garbage exceeds 2× live data keeps the amortized extra write
+// traffic below 0.5× of the updates that created the garbage.
+func (db *DB) maybeCompactRepo() {
+	db.mu.Lock()
+	repo := db.repo
+	db.mu.Unlock()
+	if repo == nil {
+		return
+	}
+	garbage, live := repo.GarbageBytes(), repo.UserBytes()
+	if garbage < 4*db.opts.MemTableSize || garbage < 2*live {
+		return
+	}
+	db.mu.Lock()
+	db.repoCompacting = true
+	db.mu.Unlock()
+	fresh, err := repo.Compacted(db.opts.ChunkSize)
+	if err != nil {
+		panic(err)
+	}
+	db.mu.Lock()
+	db.repoCompacting = false
+	old := db.repo
+	db.repo = fresh
+	db.editVersionLocked(func(v *version) {
+		v.repo = fresh
+	}, func() {
+		old.Release()
+	})
+	db.logRepoSwapLocked(fresh.Region().Index(), uint64(fresh.Head()))
+	db.mu.Unlock()
+}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"miodb/internal/iterx"
+	"miodb/internal/keys"
+	"miodb/internal/kvstore"
+	"miodb/internal/lsm"
+	"miodb/internal/memtable"
+	"miodb/internal/nvm"
+	"miodb/internal/pmtable"
+	"miodb/internal/stats"
+	"miodb/internal/vaddr"
+	"miodb/internal/vfs"
+	"miodb/internal/wal"
+)
+
+// ErrNotFound is returned by Get for keys with no live value. It is the
+// shared sentinel every store in this repository returns, so harness code
+// can compare directly.
+var ErrNotFound = kvstore.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = kvstore.ErrClosed
+
+// DB is a MioDB instance: DRAM MemTable + WAL in front of an elastic
+// multi-level PMTable buffer in NVM, with a huge repository PMTable (or
+// SSTable levels on SSD) at the bottom.
+type DB struct {
+	opts  Options
+	space *vaddr.Space
+	dram  *nvm.Device
+	nvm   *nvm.Device
+	ssd   *lsm.Levels // nil in pure in-memory mode
+	repo  *pmtable.Repository
+	st    *stats.Recorder
+	fp    pmtable.FilterParams
+
+	// writeMu serializes the client write path (WAL append + memtable
+	// insert), LevelDB-style.
+	writeMu sync.Mutex
+	seq     atomic.Uint64
+	tableID atomic.Uint64
+
+	// mu guards the version chain and all structural state below.
+	mu             sync.Mutex
+	cond           *sync.Cond
+	current        *version
+	oldest         *version
+	merges         []*activeMerge // at most one per level
+	repoCompacting bool           // a repository garbage rebuild is running
+	closed         bool
+	abandon        bool // simulated crash: background loops exit without draining
+
+	manifest      *manifestLog
+	manifestEdits int          // delta records since the last snapshot
+	markSlots     []vaddr.Addr // persisted insertion-mark slot per level
+	levelStats    []levelWork  // per-level compaction counters (under mu)
+
+	wg sync.WaitGroup
+}
+
+// levelWork accumulates one level's compaction counters.
+type levelWork struct {
+	merges       int64
+	nodesMoved   int64
+	garbageBytes int64
+}
+
+type activeMerge struct {
+	level        int
+	merge        *pmtable.Merge
+	newID, oldID uint64
+}
+
+// Open creates a fresh DB.
+func Open(opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	space := vaddr.NewSpace()
+	db := &DB{
+		opts:  opts,
+		space: space,
+		dram:  nvm.NewDevice(space, nvm.DRAMProfile()),
+		nvm:   nvm.NewDevice(space, nvm.NVMProfile()),
+		st:    &stats.Recorder{},
+		fp: pmtable.FilterParams{
+			ExpectedKeys: opts.FilterCapacity,
+			BitsPerKey:   opts.BloomBitsPerKey,
+		},
+	}
+	db.cond = sync.NewCond(&db.mu)
+	db.levelStats = make([]levelWork, opts.Levels)
+	db.applySimulation()
+
+	// The superblock/manifest occupies the space's first region so that
+	// recovery can find it without any external root.
+	db.manifest = newManifestLog(db.nvm)
+	db.markSlots = make([]vaddr.Addr, opts.Levels)
+	for i := range db.markSlots {
+		slot, err := db.manifest.allocSlot()
+		if err != nil {
+			return nil, err
+		}
+		db.markSlots[i] = slot
+	}
+
+	if opts.SSD != nil {
+		disk := opts.SSD.Disk
+		if disk == nil {
+			disk = vfs.NewDisk(vfs.SSDProfile())
+		}
+		disk.SetSimulation(opts.Simulate)
+		disk.SetTimeScale(opts.TimeScale)
+		lo := opts.SSD.LSM
+		lo.Disk = disk
+		lo.Stats = db.st
+		db.ssd = lsm.New(lo)
+	} else {
+		repo, err := pmtable.NewRepository(db.nvm, opts.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		db.repo = repo
+	}
+
+	mem, err := db.newMemHandle()
+	if err != nil {
+		return nil, err
+	}
+	root := &version{
+		mem:    mem,
+		levels: make([][]levelEntry, opts.Levels),
+		repo:   db.repo,
+	}
+	root.refs.Store(1)
+	db.current, db.oldest = root, root
+
+	db.writeManifestLocked()
+	db.startBackground()
+	return db, nil
+}
+
+func (db *DB) applySimulation() {
+	db.dram.SetSimulation(db.opts.Simulate)
+	db.nvm.SetSimulation(db.opts.Simulate)
+	db.dram.SetTimeScale(db.opts.TimeScale)
+	db.nvm.SetTimeScale(db.opts.TimeScale)
+}
+
+func (db *DB) newMemHandle() (*memHandle, error) {
+	mt, err := memtable.New(db.dram, db.opts.MemTableSize, db.opts.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	h := &memHandle{mt: mt}
+	if !db.opts.DisableWAL {
+		h.log = wal.New(db.nvm, db.opts.ChunkSize)
+	}
+	return h, nil
+}
+
+func (db *DB) startBackground() {
+	db.wg.Add(1)
+	go db.flushLoop()
+	if *db.opts.ParallelCompaction {
+		for level := 0; level < db.opts.Levels-1; level++ {
+			db.wg.Add(1)
+			go db.compactLoop(level)
+		}
+	} else {
+		db.wg.Add(1)
+		go db.singleCompactLoop()
+	}
+	db.wg.Add(1)
+	go db.lazyLoop()
+}
+
+// Put writes a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	return db.write(key, value, keys.KindSet)
+}
+
+// Delete writes a tombstone for key.
+func (db *DB) Delete(key []byte) error {
+	return db.write(key, nil, keys.KindDelete)
+}
+
+// write is the client write path: WAL append (sequential NVM write), then
+// DRAM memtable insert. MioDB's elastic buffer means it never throttles or
+// blocks here — the property behind the flat latency trace of Fig 8.
+func (db *DB) write(key, value []byte, kind keys.Kind) error {
+	if len(key) == 0 {
+		return fmt.Errorf("miodb: empty key")
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.isClosed() {
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+	seq := db.seq.Add(1)
+
+	db.mu.Lock()
+	mem := db.current.mem
+	db.mu.Unlock()
+
+	if mem.log != nil {
+		if err := mem.log.Append(key, value, seq, kind); err != nil {
+			return err
+		}
+	}
+	if err := mem.mt.Add(key, value, seq, kind); err != nil {
+		return err
+	}
+	if mem.minSeq == 0 {
+		mem.minSeq = seq
+	}
+	mem.maxSeq = seq
+
+	db.st.AddUserBytes(int64(len(key) + len(value)))
+	if kind == keys.KindDelete {
+		db.st.CountDelete()
+	} else {
+		db.st.CountPut()
+	}
+	return nil
+}
+
+// makeRoomForWrite rotates a full memtable into the immutable queue.
+// Because every level of the elastic buffer is unbounded, rotation never
+// waits on flushing or compaction progress.
+func (db *DB) makeRoomForWrite() error {
+	db.mu.Lock()
+	full := db.current.mem.mt.Full()
+	db.mu.Unlock()
+	if !full {
+		return nil
+	}
+	fresh, err := db.newMemHandle()
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	old := db.current.mem
+	db.editVersionLocked(func(v *version) {
+		v.imms = append([]*memHandle{old}, v.imms...)
+		v.mem = fresh
+	})
+	db.logRotateLocked(fresh)
+	db.mu.Unlock()
+	return nil
+}
+
+// Get returns the newest live value for key. The search order follows the
+// storage hierarchy: memtable → immutable memtables → elastic-buffer
+// levels top-down (bloom-filtered) → repository (or SSD levels). Any
+// table in level i holds strictly newer data than any table in level i+1,
+// so the first hit wins.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.isClosed() {
+		return nil, ErrClosed
+	}
+	db.st.CountGet()
+	v := db.acquireVersion()
+	defer db.releaseVersion(v)
+
+	if value, _, kind, ok := v.mem.mt.Get(key); ok {
+		return finishGet(value, kind)
+	}
+	for _, imm := range v.imms {
+		if value, _, kind, ok := imm.mt.Get(key); ok {
+			return finishGet(value, kind)
+		}
+	}
+	for _, level := range v.levels {
+		for _, e := range level {
+			if !e.mayContain(key) {
+				continue
+			}
+			if value, _, kind, ok := e.get(key); ok {
+				return finishGet(value, kind)
+			}
+		}
+	}
+	if v.repo != nil {
+		if value, _, kind, ok := v.repo.Get(key); ok {
+			return finishGet(value, kind)
+		}
+	}
+	if db.ssd != nil {
+		if value, _, kind, ok := db.ssd.Get(key); ok {
+			return finishGet(value, kind)
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func finishGet(value []byte, kind keys.Kind) ([]byte, error) {
+	if kind == keys.KindDelete {
+		return nil, ErrNotFound
+	}
+	// Copy out of arena memory: the caller may hold the value past the
+	// arena's lifetime.
+	return append([]byte(nil), value...), nil
+}
+
+// Iterator walks the store's live keys in order (newest version of each
+// key, tombstones hidden).
+type Iterator struct {
+	db  *DB
+	v   *version
+	it  iterx.Iterator
+	err error
+}
+
+// NewIterator returns an iterator over a consistent-as-possible snapshot
+// of the store. The iterator pins a version; Close releases it.
+//
+// Scans taken while a zero-copy merge is mid-flight may observe a key's
+// version through either of the merging tables — the Visible wrapper
+// collapses duplicates, and the merge's insertion mark is included so no
+// key is skipped.
+func (db *DB) NewIterator() *Iterator {
+	db.st.CountScan()
+	v := db.acquireVersion()
+	sources := []iterx.Iterator{v.mem.mt.NewIterator()}
+	for _, imm := range v.imms {
+		sources = append(sources, imm.mt.NewIterator())
+	}
+	for _, level := range v.levels {
+		for _, e := range level {
+			sources = append(sources, e.iterators()...)
+		}
+	}
+	if v.repo != nil {
+		sources = append(sources, v.repo.NewIterator())
+	}
+	if db.ssd != nil {
+		sources = append(sources, db.ssd.Iterators()...)
+	}
+	return &Iterator{
+		db: db,
+		v:  v,
+		it: iterx.NewVisible(iterx.NewMerging(sources...)),
+	}
+}
+
+// SeekToFirst positions at the first live key.
+func (it *Iterator) SeekToFirst() { it.it.SeekToFirst() }
+
+// Seek positions at the first live key ≥ key.
+func (it *Iterator) Seek(key []byte) { it.it.Seek(key) }
+
+// Next advances to the next live key.
+func (it *Iterator) Next() { it.it.Next() }
+
+// Valid reports whether the iterator is positioned.
+func (it *Iterator) Valid() bool { return it.it.Valid() }
+
+// Key returns the current key (valid until Next/Close).
+func (it *Iterator) Key() []byte { return it.it.Key() }
+
+// Value returns the current value (valid until Next/Close).
+func (it *Iterator) Value() []byte { return it.it.Value() }
+
+// Close releases the iterator's version pin.
+func (it *Iterator) Close() {
+	if it.v != nil {
+		it.db.releaseVersion(it.v)
+		it.v = nil
+	}
+}
+
+// Scan invokes fn for up to limit live keys starting at start, stopping
+// early if fn returns false. limit ≤ 0 means no limit. The slices passed
+// to fn alias store memory and are only valid during the callback.
+func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
+	if db.isClosed() {
+		return ErrClosed
+	}
+	it := db.NewIterator()
+	defer it.Close()
+	n := 0
+	for it.Seek(start); it.Valid(); it.Next() {
+		if limit > 0 && n >= limit {
+			break
+		}
+		if !fn(it.Key(), it.Value()) {
+			break
+		}
+		n++
+	}
+	return nil
+}
+
+func (db *DB) isClosed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.closed
+}
+
+// WaitIdle blocks until all queued flushes, zero-copy merges, and
+// lazy-copy compactions have drained (benchmarks call it between load and
+// read phases).
+func (db *DB) WaitIdle() {
+	db.mu.Lock()
+	for !db.idleLocked() && !db.closed {
+		db.cond.Wait()
+	}
+	db.mu.Unlock()
+	if db.ssd != nil {
+		db.ssd.WaitIdle()
+	}
+}
+
+func (db *DB) idleLocked() bool {
+	v := db.current
+	if len(v.imms) > 0 {
+		return false
+	}
+	if len(db.merges) > 0 || db.repoCompacting {
+		return false
+	}
+	for level := 0; level < len(v.levels)-1; level++ {
+		if len(v.levels[level]) >= 2 {
+			return false
+		}
+	}
+	return len(v.levels[len(v.levels)-1]) == 0
+}
+
+// FlushAll forces the active memtable out and waits for the store to
+// drain fully (benchmarks and orderly shutdown).
+func (db *DB) FlushAll() error {
+	db.writeMu.Lock()
+	fresh, err := db.newMemHandle()
+	if err != nil {
+		db.writeMu.Unlock()
+		return err
+	}
+	db.mu.Lock()
+	if db.current.mem.mt.Empty() {
+		db.mu.Unlock()
+		db.writeMu.Unlock()
+		fresh.mt.Release()
+		if fresh.log != nil {
+			fresh.log.Release()
+		}
+		db.WaitIdle()
+		return nil
+	}
+	old := db.current.mem
+	db.editVersionLocked(func(v *version) {
+		v.imms = append([]*memHandle{old}, v.imms...)
+		v.mem = fresh
+	})
+	db.logRotateLocked(fresh)
+	db.mu.Unlock()
+	db.writeMu.Unlock()
+	db.WaitIdle()
+	return nil
+}
+
+// Close drains background work and shuts the store down.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+
+	// Let queued work drain before stopping the loops.
+	db.WaitIdle()
+
+	db.mu.Lock()
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.wg.Wait()
+	if db.ssd != nil {
+		db.ssd.Close()
+	}
+	return nil
+}
+
+// Stats returns the store's cost accounting with device traffic attached.
+func (db *DB) Stats() stats.Snapshot {
+	s := db.st.Snapshot()
+	devs := []stats.DeviceCounters{
+		{Name: "dram", BytesRead: db.dram.Counters().BytesRead, BytesWritten: db.dram.Counters().BytesWritten},
+	}
+	nc := db.nvm.Counters()
+	persistent := []stats.DeviceCounters{
+		{Name: nc.Name, BytesRead: nc.BytesRead, BytesWritten: nc.BytesWritten},
+	}
+	if db.ssd != nil {
+		dc := db.ssd.Options().Disk.Counters()
+		persistent = append(persistent, stats.DeviceCounters{Name: dc.Name, BytesRead: dc.BytesRead, BytesWritten: dc.BytesWritten})
+	}
+	s.AttachDevices(persistent...)
+	s.Devices = append(devs, s.Devices...)
+	return s
+}
+
+// ResetCounters clears device and cost counters (between bench phases).
+func (db *DB) ResetCounters() {
+	db.dram.ResetCounters()
+	db.nvm.ResetCounters()
+	if db.ssd != nil {
+		db.ssd.Options().Disk.ResetCounters()
+	}
+	*db.st = stats.Recorder{}
+}
+
+// NVMUsage returns current and peak NVM footprint in bytes (the elastic
+// buffer consumption discussion of §5.4).
+func (db *DB) NVMUsage() int64 {
+	var total int64
+	for _, r := range db.space.Regions() {
+		if r.Meter() == vaddr.Meter(db.nvm) {
+			total += r.Footprint()
+		}
+	}
+	return total
+}
+
+// LevelTableCounts returns the number of tables per elastic-buffer level
+// (diagnostics and tests).
+func (db *DB) LevelTableCounts() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]int, len(db.current.levels))
+	for i, l := range db.current.levels {
+		out[i] = len(l)
+	}
+	return out
+}
+
+// RepositoryCount returns the number of unique keys in the repository
+// (in-memory mode only).
+func (db *DB) RepositoryCount() int64 {
+	db.mu.Lock()
+	repo := db.repo
+	db.mu.Unlock()
+	if repo == nil {
+		return 0
+	}
+	return repo.Count()
+}
+
+// Recorder exposes the stats recorder for harness integration.
+func (db *DB) Recorder() *stats.Recorder { return db.st }

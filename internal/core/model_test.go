@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickModelEquivalence drives random operation sequences against the
+// engine and an in-memory reference map, checking Get and full-scan
+// equivalence after each burst. This is the engine-level property test:
+// whatever one-piece flushes, zero-copy merges, lazy copies, and repo
+// compactions happen underneath, the visible store must behave exactly
+// like a map.
+func TestQuickModelEquivalence(t *testing.T) {
+	type op struct {
+		Key    uint8 // small keyspace → frequent overwrites and merges
+		Val    uint16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		opts := smallOpts()
+		opts.MemTableSize = 4 << 10 // force constant flushing
+		db, err := Open(opts)
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+
+		model := map[string]string{}
+		for i, o := range ops {
+			k := fmt.Sprintf("key-%03d", o.Key)
+			if o.Delete {
+				if err := db.Delete([]byte(k)); err != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("val-%05d-%d", o.Val, i)
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		db.WaitIdle()
+
+		// Point-lookup equivalence.
+		for i := 0; i < 256; i++ {
+			k := fmt.Sprintf("key-%03d", i)
+			v, err := db.Get([]byte(k))
+			want, present := model[k]
+			if present != (err == nil) {
+				return false
+			}
+			if present && string(v) != want {
+				return false
+			}
+		}
+		// Scan equivalence.
+		seen := map[string]string{}
+		var prev []byte
+		it := db.NewIterator()
+		defer it.Close()
+		for it.SeekToFirst(); it.Valid(); it.Next() {
+			if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+				return false
+			}
+			prev = append(prev[:0], it.Key()...)
+			seen[string(it.Key())] = string(it.Value())
+		}
+		if len(seen) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if seen[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCrashRecoveryEquivalence is the crash-safety property: after
+// any random operation sequence and a power failure, recovery restores
+// exactly the acknowledged state.
+func TestQuickCrashRecoveryEquivalence(t *testing.T) {
+	type op struct {
+		Key    uint8
+		Val    uint16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		opts := smallOpts()
+		db, err := Open(opts)
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for i, o := range ops {
+			k := fmt.Sprintf("key-%03d", o.Key)
+			if o.Delete {
+				if db.Delete([]byte(k)) != nil {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("val-%05d-%d", o.Val, i)
+				if db.Put([]byte(k), []byte(v)) != nil {
+					return false
+				}
+				model[k] = v
+			}
+		}
+		img := db.CrashForTest()
+		re, err := Recover(img, opts)
+		if err != nil {
+			return false
+		}
+		defer re.Close()
+		for i := 0; i < 256; i++ {
+			k := fmt.Sprintf("key-%03d", i)
+			v, err := re.Get([]byte(k))
+			want, present := model[k]
+			if present != (err == nil) {
+				return false
+			}
+			if present && string(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 2
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package core implements the MioDB engine: the paper's elastic multi-level
+// PMTable buffer over a DRAM write buffer and a huge bottom-level
+// repository, with one-piece flushing, zero-copy + lazy-copy compaction,
+// per-level parallel compaction threads, bloom-filtered reads, write-ahead
+// logging, and crash recovery. See DESIGN.md for the system map.
+package core
+
+import (
+	"miodb/internal/lsm"
+	"miodb/internal/nvm"
+	"miodb/internal/vfs"
+)
+
+// Options configures a DB. The zero value is usable: defaults reproduce
+// the paper's configuration scaled by 1/1000 (64 KB memtables standing in
+// for 64 MB, 8 elastic-buffer levels, 16 bloom bits per key).
+type Options struct {
+	// MemTableSize is the DRAM buffer's soft capacity before rotation.
+	MemTableSize int64
+	// ChunkSize is the arena chunk size and bounds the largest entry.
+	ChunkSize int
+	// Levels is the number of elastic-buffer levels n (L0..L(n-1)); the
+	// repository below them is Ln. The paper settles on 8 (Fig 9).
+	Levels int
+	// BloomBitsPerKey and FilterCapacity size the fixed, mergeable
+	// per-PMTable bloom filters (§4.6). A negative BloomBitsPerKey
+	// disables filtering entirely (the read-optimization ablation).
+	BloomBitsPerKey int
+	FilterCapacity  int
+
+	// DisableWAL turns off write-ahead logging (benchmark ablation).
+	DisableWAL bool
+
+	// ParallelCompaction runs one compaction goroutine per level (§4.5).
+	// When false a single goroutine serves all levels round-robin — the
+	// ablation Fig 9 contrasts with.
+	ParallelCompaction *bool
+
+	// ZeroCopyMerge selects pointer-only merging in the elastic buffer.
+	// When false, merges physically copy nodes (ablation: what the
+	// elastic buffer would cost without byte addressability).
+	ZeroCopyMerge *bool
+
+	// OnePieceFlush selects whole-arena flushing (§4.2). When false, the
+	// flusher copies entries one by one into a fresh NVM skip list — the
+	// NoveLSM-style flush the paper's Fig 12 compares against.
+	OnePieceFlush *bool
+
+	// SSD enables the DRAM-NVM-SSD hierarchy (§5.4): the repository is
+	// replaced by leveled SSTables on a simulated SSD.
+	SSD *SSDOptions
+
+	// Simulate enables device latency injection (benchmarks); unit tests
+	// leave it off.
+	Simulate bool
+	// TimeScale scales injected latencies (1.0 = full model).
+	TimeScale float64
+}
+
+// SSDOptions configures the SSD tier.
+type SSDOptions struct {
+	// Disk is the simulated SSD; if nil one is created with SSDProfile.
+	Disk *vfs.Disk
+	// LSM tunes the on-SSD leveled tree.
+	LSM lsm.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemTableSize <= 0 {
+		o.MemTableSize = 64 << 10
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 256 << 10
+	}
+	if o.ChunkSize < int(o.MemTableSize/4) {
+		// Keep clone-based flushing efficient: a memtable arena should
+		// span only a handful of chunks.
+		o.ChunkSize = int(o.MemTableSize)
+	}
+	if o.Levels <= 0 {
+		o.Levels = 8
+	}
+	if o.Levels < 2 {
+		o.Levels = 2
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 16
+	}
+	if o.FilterCapacity <= 0 {
+		o.FilterCapacity = 1 << 14
+	}
+	if o.ParallelCompaction == nil {
+		o.ParallelCompaction = boolPtr(true)
+	}
+	if o.ZeroCopyMerge == nil {
+		o.ZeroCopyMerge = boolPtr(true)
+	}
+	if o.OnePieceFlush == nil {
+		o.OnePieceFlush = boolPtr(true)
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	return o
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// Bool is a helper for setting the ablation flags in Options literals.
+func Bool(b bool) *bool { return &b }
+
+// devices bundles the memory devices of one store instance.
+type devices struct {
+	dram *nvm.Device
+	nvm  *nvm.Device
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"miodb/internal/keys"
+	"miodb/internal/nvm"
+	"miodb/internal/pmtable"
+	"miodb/internal/stats"
+	"miodb/internal/vaddr"
+	"miodb/internal/wal"
+)
+
+// CrashImage is the persistent state that survives a simulated power
+// failure: the virtual address space (whose NVM regions are "persistent")
+// and the NVM device bound to it. DRAM regions also physically survive in
+// the image — memory is memory — but recovery never touches them,
+// modeling their loss; the WAL rebuilds their content (§4.7).
+type CrashImage struct {
+	Space *vaddr.Space
+	NVM   *nvm.Device
+}
+
+// CrashForTest simulates a power failure: background goroutines are
+// abandoned at their next checkpoint (queued flushes and lazy copies are
+// dropped on the floor, exactly as a crash would), and the NVM state is
+// handed back for recovery. The DB is unusable afterwards.
+//
+// An in-flight zero-copy merge completes its current Run before the
+// goroutine observes the abandon flag — goroutines cannot be killed
+// mid-instruction in-process. Mid-merge crash recovery is exercised
+// directly at the pmtable level (Merge.Resume) and through manifest-driven
+// recovery tests that construct interrupted states.
+func (db *DB) CrashForTest() *CrashImage {
+	db.mu.Lock()
+	db.closed = true
+	db.abandon = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.wg.Wait()
+	if db.ssd != nil {
+		db.ssd.Close()
+	}
+	return &CrashImage{Space: db.space, NVM: db.nvm}
+}
+
+// Recover rebuilds a DB from a crash image: it locates the superblock in
+// the space's first region, decodes the latest intact manifest state,
+// re-attaches every PMTable and the repository, resumes any interrupted
+// zero-copy merge via its persisted insertion mark, and replays the
+// write-ahead logs (oldest first) into a fresh memtable.
+//
+// opts must match the crashed store's structural options (Levels). The
+// DRAM-NVM-SSD mode is not recoverable (the simulated SSD carries no
+// manifest); the paper's recovery discussion (§4.7) likewise covers the
+// NVM-resident state.
+func Recover(img *CrashImage, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if opts.SSD != nil {
+		return nil, fmt.Errorf("miodb: SSD-mode crash recovery is not supported")
+	}
+	superRegion := img.Space.Region(0)
+	if superRegion == nil {
+		return nil, fmt.Errorf("miodb: crash image has no superblock region")
+	}
+
+	db := &DB{
+		opts:  opts,
+		space: img.Space,
+		dram:  nvm.NewDevice(img.Space, nvm.DRAMProfile()),
+		nvm:   img.NVM,
+		st:    &stats.Recorder{},
+		fp: pmtable.FilterParams{
+			ExpectedKeys: opts.FilterCapacity,
+			BitsPerKey:   opts.BloomBitsPerKey,
+		},
+	}
+	db.cond = sync.NewCond(&db.mu)
+	db.levelStats = make([]levelWork, opts.Levels)
+	db.applySimulation()
+	db.manifest = attachManifestLog(db.nvm, superRegion)
+
+	// Records start after the nil-address word and the mark slots laid
+	// down at original Open time.
+	scanFrom := int64(8 + 8*opts.Levels)
+	state, err := db.manifest.replayManifest(scanFrom)
+	if err != nil {
+		return nil, fmt.Errorf("miodb: manifest replay: %w", err)
+	}
+	if len(state.levels) != opts.Levels {
+		return nil, fmt.Errorf("miodb: crash image has %d levels, options say %d",
+			len(state.levels), opts.Levels)
+	}
+	db.seq.Store(state.lastSeq)
+	db.tableID.Store(state.nextTableID)
+	db.markSlots = make([]vaddr.Addr, len(state.markSlots))
+	for i, s := range state.markSlots {
+		db.markSlots[i] = vaddr.Addr(s)
+	}
+
+	// Repository.
+	if state.hasRepo {
+		repoRegion := img.Space.Region(state.repoRegion)
+		if repoRegion == nil {
+			return nil, fmt.Errorf("miodb: repository region %d missing", state.repoRegion)
+		}
+		db.repo = pmtable.AttachRepository(db.nvm, repoRegion, vaddr.Addr(state.repoHead))
+	} else {
+		repo, err := pmtable.NewRepository(db.nvm, opts.ChunkSize)
+		if err != nil {
+			return nil, err
+		}
+		db.repo = repo
+	}
+
+	attachTable := func(ts tableState) (*pmtable.Table, error) {
+		regions := make([]*vaddr.Region, 0, len(ts.regions))
+		for _, ri := range ts.regions {
+			r := img.Space.Region(ri)
+			if r == nil {
+				return nil, fmt.Errorf("miodb: table %d region %d missing", ts.id, ri)
+			}
+			regions = append(regions, r)
+		}
+		t := pmtable.Attach(img.Space, vaddr.Addr(ts.head), ts.id, regions, db.fp)
+		t.MinSeq, t.MaxSeq = ts.minSeq, ts.maxSeq
+		return t, nil
+	}
+
+	// Levels: re-attach tables; interrupted merges resume synchronously
+	// so recovery hands back a consistent buffer.
+	root := &version{levels: make([][]levelEntry, opts.Levels)}
+	type pendingMerge struct {
+		level int
+		merge *pmtable.Merge
+		mark  vaddr.Addr
+	}
+	var pending []pendingMerge
+	for level, lvl := range state.levels {
+		for _, ent := range lvl {
+			if !ent.isMerge {
+				t, err := attachTable(ent.table)
+				if err != nil {
+					return nil, err
+				}
+				root.levels[level] = append(root.levels[level], tableEntry{t})
+				continue
+			}
+			newT, err := attachTable(ent.merge.newT)
+			if err != nil {
+				return nil, err
+			}
+			oldT, err := attachTable(ent.merge.oldT)
+			if err != nil {
+				return nil, err
+			}
+			m := pmtable.NewMerge(newT, oldT)
+			slot := vaddr.Addr(ent.merge.markSlot)
+			m.SetPersistSlot(superRegion, slot)
+			mark := vaddr.Addr(superRegion.Load64(slot))
+			pending = append(pending, pendingMerge{level: level, merge: m, mark: mark})
+			// Placeholder entry; replaced by the resumed result below.
+			root.levels[level] = append(root.levels[level], mergeEntry{m})
+		}
+	}
+
+	// Fresh memtable + WAL, then replay the crashed logs oldest-first,
+	// re-logging every entry so a second crash is equally recoverable.
+	mem, err := db.newMemHandle()
+	if err != nil {
+		return nil, err
+	}
+	root.mem = mem
+	root.repo = db.repo
+	root.refs.Store(1)
+	db.current, db.oldest = root, root
+
+	for _, ri := range state.walRegions {
+		r := img.Space.Region(ri)
+		if r == nil {
+			continue // already released before the crash
+		}
+		log := wal.Attach(db.nvm, r)
+		err := log.Replay(func(key, value []byte, seq uint64, kind keys.Kind) error {
+			if mem.log != nil {
+				if err := mem.log.Append(key, value, seq, kind); err != nil {
+					return err
+				}
+			}
+			if err := mem.mt.Add(key, value, seq, kind); err != nil {
+				return err
+			}
+			if mem.minSeq == 0 {
+				mem.minSeq = seq
+			}
+			if seq > mem.maxSeq {
+				mem.maxSeq = seq
+			}
+			if seq > db.seq.Load() {
+				db.seq.Store(seq)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Resume interrupted merges to completion.
+	for _, pm := range pending {
+		result := pm.merge.Resume(pm.mark)
+		level := pm.level
+		m := pm.merge
+		db.mu.Lock()
+		db.editVersionLocked(func(v *version) {
+			lv := v.levels[level]
+			for i, e := range lv {
+				if me, ok := e.(mergeEntry); ok && me.m == m {
+					v.levels[level] = append(lv[:i:i], lv[i+1:]...)
+					break
+				}
+			}
+			v.levels[level+1] = append([]levelEntry{tableEntry{result}}, v.levels[level+1]...)
+		})
+		m.New.DropRegions()
+		m.Old.DropRegions()
+		db.mu.Unlock()
+	}
+
+	db.mu.Lock()
+	db.writeManifestLocked()
+	db.mu.Unlock()
+
+	// Old WAL regions are now redundant (content re-logged).
+	for _, ri := range state.walRegions {
+		if r := img.Space.Region(ri); r != nil {
+			db.nvm.Release(r)
+		}
+	}
+
+	db.startBackground()
+	return db, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"miodb/internal/iterx"
+	"miodb/internal/keys"
+	"miodb/internal/memtable"
+	"miodb/internal/pmtable"
+	"miodb/internal/wal"
+)
+
+// levelEntry is one read source inside an elastic-buffer level: either a
+// settled PMTable or an in-flight zero-copy merge (which must be read
+// through its mark-aware protocol).
+type levelEntry interface {
+	get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool)
+	mayContain(key []byte) bool
+	iterators() []iterx.Iterator
+	newestSeq() uint64
+}
+
+type tableEntry struct{ t *pmtable.Table }
+
+// get uses the merge-hardened probe: a reader whose version snapshot
+// predates a zero-copy merge of this table must still observe the node
+// currently in flight between the pair.
+func (e tableEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.t.GetSafe(key) }
+func (e tableEntry) mayContain(key []byte) bool {
+	if m := e.t.ActiveMerge(); m != nil {
+		return m.MayContain(key)
+	}
+	return e.t.MayContain(key)
+}
+func (e tableEntry) iterators() []iterx.Iterator {
+	if m := e.t.ActiveMerge(); m != nil {
+		return mergeEntry{m}.iterators()
+	}
+	return []iterx.Iterator{e.t.NewIterator()}
+}
+func (e tableEntry) newestSeq() uint64 { return e.t.MaxSeq }
+
+type mergeEntry struct{ m *pmtable.Merge }
+
+func (e mergeEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.m.Get(key) }
+func (e mergeEntry) mayContain(key []byte) bool                       { return e.m.MayContain(key) }
+func (e mergeEntry) iterators() []iterx.Iterator {
+	its := []iterx.Iterator{
+		e.m.New.NewIterator(),
+		e.m.Old.NewIterator(),
+	}
+	// The in-flight node belongs to neither list; expose it so scans
+	// taken mid-merge cannot miss it.
+	if n, ok := e.m.MarkNode(); ok {
+		its = append(its, iterx.NewSingle(n.Key(), n.Value(), n.Seq(), n.Kind()))
+	}
+	return its
+}
+func (e mergeEntry) newestSeq() uint64 { return e.m.New.MaxSeq }
+
+// memHandle pairs a memtable with its write-ahead log.
+type memHandle struct {
+	mt             *memtable.MemTable
+	log            *wal.Log
+	minSeq, maxSeq uint64
+}
+
+// version is an immutable snapshot of the store's readable structure.
+// Readers acquire the current version, search it without locks, and
+// release it; structural changes install a fresh version. Resources that a
+// newer version stopped referencing (flushed memtable arenas, retired WAL
+// regions, lazily-copied PMTable arenas) are queued on the version that
+// last referenced them and freed once that version and every older one
+// have drained — the deferred, arena-granularity reclamation the paper's
+// lazy memory freeing calls for, made safe under concurrent readers.
+type version struct {
+	refs atomic.Int32
+	next *version
+
+	mem    *memHandle
+	imms   []*memHandle   // newest first
+	levels [][]levelEntry // per level, newest first
+	repo   *pmtable.Repository
+
+	// releaseFns run when this version and all older versions are dead.
+	releaseFns []func()
+}
+
+// acquireVersion takes a reference on the current version.
+func (db *DB) acquireVersion() *version {
+	db.mu.Lock()
+	v := db.current
+	v.refs.Add(1)
+	db.mu.Unlock()
+	return v
+}
+
+// releaseVersion drops a reference and sweeps freeable old versions.
+func (db *DB) releaseVersion(v *version) {
+	db.mu.Lock()
+	v.refs.Add(-1)
+	db.sweepVersionsLocked()
+	db.mu.Unlock()
+}
+
+// sweepVersionsLocked frees dead versions from the oldest end of the
+// chain. Ordering matters: a version's garbage may still be referenced by
+// older versions, so the sweep stops at the first live one.
+func (db *DB) sweepVersionsLocked() {
+	for db.oldest != db.current && db.oldest.refs.Load() == 0 {
+		for _, fn := range db.oldest.releaseFns {
+			fn()
+		}
+		db.oldest.releaseFns = nil
+		db.oldest = db.oldest.next
+	}
+}
+
+// editVersion clones the current version, applies edit, and installs the
+// clone as current. garbage lists resources that the new version no longer
+// references. Must be called with db.mu held.
+func (db *DB) editVersionLocked(edit func(v *version), garbage ...func()) {
+	cur := db.current
+	nv := &version{
+		mem:    cur.mem,
+		imms:   append([]*memHandle(nil), cur.imms...),
+		levels: make([][]levelEntry, len(cur.levels)),
+		repo:   cur.repo,
+	}
+	for i := range cur.levels {
+		nv.levels[i] = append([]levelEntry(nil), cur.levels[i]...)
+	}
+	edit(nv)
+
+	// The outgoing version owns the garbage: it may still be read.
+	cur.releaseFns = append(cur.releaseFns, garbage...)
+
+	nv.refs.Store(1) // the DB's own reference
+	cur.next = nv
+	db.current = nv
+	cur.refs.Add(-1) // drop the DB's reference on the old version
+	db.sweepVersionsLocked()
+	db.cond.Broadcast()
+}

@@ -1,0 +1,266 @@
+// Package histogram provides the latency-measurement machinery behind the
+// paper's tail-latency tables (Tables 2 and 3) and the latency-over-time
+// plot (Fig 8): a log-bucketed histogram with percentile queries, and a
+// time-series recorder that bins operation latencies by elapsed time.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// bucketCount covers 1 ns .. ~18 s with ~4.6% resolution
+// (64 decades of 16 sub-buckets over powers of √2 would be overkill;
+// we use value = 2^(i/8), giving 8 buckets per octave).
+const (
+	subBucketsPerOctave = 8
+	bucketCount         = 64 * subBucketsPerOctave / 2 // up to 2^32 ns ≈ 4.3 s
+)
+
+// Histogram records durations and answers percentile queries. It is safe
+// for concurrent Record calls.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [bucketCount]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketFor(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns < 1 {
+		ns = 1
+	}
+	i := int(math.Log2(ns) * subBucketsPerOctave)
+	if i < 0 {
+		i = 0
+	}
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	return i
+}
+
+func bucketValue(i int) time.Duration {
+	return time.Duration(math.Exp2(float64(i)/subBucketsPerOctave) + 0.5)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Percentile returns the approximate latency at quantile p in [0,100].
+// The answer is the representative value of the bucket containing the
+// p-th sample (≤5% relative error), clamped to the observed min/max.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			v := bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Snapshot bundles the latency metrics the paper's tables report.
+type Snapshot struct {
+	Count                int64
+	Mean, P90, P99, P999 time.Duration
+	Max                  time.Duration
+}
+
+// Snapshot computes avg/90/99/99.9 percentiles in one pass.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot in the paper's Table 2 layout.
+func (s Snapshot) String() string {
+	us := func(d time.Duration) string { return fmt.Sprintf("%.1f", float64(d)/1e3) }
+	return fmt.Sprintf("avg=%sµs p90=%sµs p99=%sµs p99.9=%sµs",
+		us(s.Mean), us(s.P90), us(s.P99), us(s.P999))
+}
+
+// Timeline bins per-operation latencies by wall-clock elapsed time,
+// reproducing Fig 8's latency-over-time trace: each bin keeps the mean and
+// max latency of operations issued during that interval, so compaction- or
+// flush-induced latency spikes are visible.
+type Timeline struct {
+	mu     sync.Mutex
+	start  time.Time
+	width  time.Duration
+	sums   []time.Duration
+	maxs   []time.Duration
+	counts []int64
+}
+
+// NewTimeline starts a timeline with the given bin width.
+func NewTimeline(binWidth time.Duration) *Timeline {
+	return &Timeline{start: time.Now(), width: binWidth}
+}
+
+// Record logs one operation latency at the current time.
+func (t *Timeline) Record(d time.Duration) {
+	idx := int(time.Since(t.start) / t.width)
+	t.mu.Lock()
+	for len(t.sums) <= idx {
+		t.sums = append(t.sums, 0)
+		t.maxs = append(t.maxs, 0)
+		t.counts = append(t.counts, 0)
+	}
+	t.sums[idx] += d
+	t.counts[idx]++
+	if d > t.maxs[idx] {
+		t.maxs[idx] = d
+	}
+	t.mu.Unlock()
+}
+
+// Bin is one timeline interval.
+type Bin struct {
+	Start     time.Duration
+	Mean, Max time.Duration
+	Count     int64
+}
+
+// Bins returns the recorded intervals in order.
+func (t *Timeline) Bins() []Bin {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Bin, 0, len(t.sums))
+	for i := range t.sums {
+		b := Bin{Start: time.Duration(i) * t.width, Count: t.counts[i], Max: t.maxs[i]}
+		if b.Count > 0 {
+			b.Mean = t.sums[i] / time.Duration(b.Count)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Sparkline renders max-latency bins as a compact ASCII trace — enough to
+// eyeball whether a store exhibits Fig 8's periodic spikes.
+func (t *Timeline) Sparkline() string {
+	bins := t.Bins()
+	if len(bins) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	maxv := time.Duration(1)
+	for _, b := range bins {
+		if b.Max > maxv {
+			maxv = b.Max
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bins {
+		// log scale: spikes of 100× read as near-full bars
+		f := math.Log1p(float64(b.Max)) / math.Log1p(float64(maxv))
+		i := int(f * float64(len(glyphs)-1))
+		sb.WriteRune(glyphs[i])
+	}
+	return sb.String()
+}
+
+// SpikeFactor summarizes a timeline as max-bin-latency ÷ median-bin-latency;
+// a store with write stalls shows a large factor, a stall-free store ≈ 1.
+func (t *Timeline) SpikeFactor() float64 {
+	bins := t.Bins()
+	vals := make([]float64, 0, len(bins))
+	var maxv float64
+	for _, b := range bins {
+		if b.Count == 0 {
+			continue
+		}
+		v := float64(b.Max)
+		vals = append(vals, v)
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	med := vals[len(vals)/2]
+	if med == 0 {
+		return 0
+	}
+	return maxv / med
+}

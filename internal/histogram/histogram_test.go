@@ -1,0 +1,166 @@
+package histogram
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(99) != 0 {
+		t.Error("empty histogram not all-zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.P999 != 0 {
+		t.Error("empty snapshot not zero")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	h := New()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Microsecond || mean > 56*time.Microsecond {
+		t.Errorf("Mean = %v, want ≈50.5µs", mean)
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	p50 := h.Percentile(50)
+	if p50 < 40*time.Microsecond || p50 > 60*time.Microsecond {
+		t.Errorf("P50 = %v, want ≈50µs", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 90*time.Microsecond || p99 > 105*time.Microsecond {
+		t.Errorf("P99 = %v, want ≈99µs", p99)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	f := func(samplesRaw []uint32) bool {
+		if len(samplesRaw) == 0 {
+			return true
+		}
+		h := New()
+		for _, s := range samplesRaw {
+			h.Record(time.Duration(s%1e9) * time.Nanosecond)
+		}
+		prev := time.Duration(0)
+		for _, p := range []float64{10, 50, 90, 99, 99.9, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	// Log-bucketed: ≤ ~9% relative error per bucket.
+	h := New()
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(i+1) * time.Microsecond)
+	}
+	for _, p := range []float64{50, 90, 99} {
+		want := float64(p) / 100 * 10000 // µs
+		got := h.Percentile(p).Seconds() * 1e6
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("P%.0f = %.0fµs, want ≈%.0fµs", p, got, want)
+		}
+	}
+}
+
+func TestNegativeAndZeroDurations(t *testing.T) {
+	h := New()
+	h.Record(-5 * time.Second)
+	h.Record(0)
+	if h.Count() != 2 {
+		t.Error("negative/zero samples dropped")
+	}
+	if h.Max() != 0 {
+		t.Errorf("Max = %v", h.Max())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	h := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d after concurrent records", h.Count())
+	}
+}
+
+func TestTimelineBinsAndSpikes(t *testing.T) {
+	tl := NewTimeline(5 * time.Millisecond)
+	// Several flat bins, then one spiky bin: spread wall-clock time so
+	// records land in distinct bins.
+	for bin := 0; bin < 5; bin++ {
+		lat := 10 * time.Microsecond
+		if bin == 3 {
+			lat = 10 * time.Millisecond // the stall spike
+		}
+		for i := 0; i < 10; i++ {
+			tl.Record(lat)
+		}
+		time.Sleep(6 * time.Millisecond)
+	}
+	bins := tl.Bins()
+	if len(bins) < 4 {
+		t.Fatalf("only %d bins", len(bins))
+	}
+	var total int64
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 50 {
+		t.Errorf("bins hold %d samples, want 50", total)
+	}
+	if tl.SpikeFactor() < 10 {
+		t.Errorf("SpikeFactor = %.1f, want large (spiky trace)", tl.SpikeFactor())
+	}
+	if tl.Sparkline() == "" {
+		t.Error("empty sparkline")
+	}
+}
+
+func TestTimelineFlatProfile(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	for i := 0; i < 100; i++ {
+		tl.Record(20 * time.Microsecond)
+	}
+	if f := tl.SpikeFactor(); f > 1.5 {
+		t.Errorf("flat profile SpikeFactor = %.2f", f)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := New()
+	h.Record(100 * time.Microsecond)
+	s := h.Snapshot().String()
+	if s == "" {
+		t.Error("empty snapshot string")
+	}
+}

@@ -1,0 +1,234 @@
+// Package iterx defines the iterator contract shared by every data source
+// in the repository (memtables, PMTables, the repository, SSTables, matrix
+// rows) and combinators over it: a heap-based k-way merging iterator and a
+// visibility filter that collapses versions and drops tombstones for
+// user-facing scans.
+package iterx
+
+import (
+	"bytes"
+	"container/heap"
+
+	"miodb/internal/keys"
+)
+
+// Iterator walks entries in (user key asc, seq desc) order.
+// skiplist.Iterator satisfies it structurally; block-format sources
+// implement it over their decoded entries.
+type Iterator interface {
+	// SeekToFirst positions at the first entry.
+	SeekToFirst()
+	// Seek positions at the first entry with user key ≥ key.
+	Seek(key []byte)
+	// Next advances one entry.
+	Next()
+	// Valid reports whether the iterator is positioned on an entry.
+	Valid() bool
+	// Key returns the current user key.
+	Key() []byte
+	// Value returns the current value.
+	Value() []byte
+	// Seq returns the current sequence number.
+	Seq() uint64
+	// Kind returns the current entry kind.
+	Kind() keys.Kind
+}
+
+// Merging merges several iterators into one global (key asc, seq desc)
+// stream. Sources may contain duplicate keys; the stream interleaves all
+// versions in order, newest first per key.
+type Merging struct {
+	h mergeHeap
+}
+
+// NewMerging builds a merging iterator over the given sources.
+func NewMerging(sources ...Iterator) *Merging {
+	m := &Merging{}
+	m.h = make(mergeHeap, 0, len(sources))
+	for _, s := range sources {
+		if s != nil {
+			m.h = append(m.h, s)
+		}
+	}
+	return m
+}
+
+type mergeHeap []Iterator
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return keys.Compare(h[i].Key(), h[i].Seq(), h[j].Key(), h[j].Seq()) < 0
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(Iterator)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (m *Merging) rebuild(position func(Iterator)) {
+	live := m.h[:0]
+	for _, it := range m.h {
+		position(it)
+		if it.Valid() {
+			live = append(live, it)
+		}
+	}
+	m.h = live
+	heap.Init(&m.h)
+}
+
+// SeekToFirst positions every source at its start.
+func (m *Merging) SeekToFirst() { m.rebuild(func(it Iterator) { it.SeekToFirst() }) }
+
+// Seek positions at the first entry with user key ≥ key.
+func (m *Merging) Seek(key []byte) { m.rebuild(func(it Iterator) { it.Seek(key) }) }
+
+// Valid reports whether any source still has entries.
+func (m *Merging) Valid() bool { return len(m.h) > 0 }
+
+// Next advances the globally smallest source.
+func (m *Merging) Next() {
+	if len(m.h) == 0 {
+		return
+	}
+	top := m.h[0]
+	top.Next()
+	if top.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// Key returns the current user key.
+func (m *Merging) Key() []byte { return m.h[0].Key() }
+
+// Value returns the current value.
+func (m *Merging) Value() []byte { return m.h[0].Value() }
+
+// Seq returns the current sequence number.
+func (m *Merging) Seq() uint64 { return m.h[0].Seq() }
+
+// Kind returns the current entry kind.
+func (m *Merging) Kind() keys.Kind { return m.h[0].Kind() }
+
+var _ Iterator = (*Merging)(nil)
+
+// Visible wraps an iterator in user-visible semantics: only the newest
+// version of each key is yielded, and keys whose newest version is a
+// tombstone are skipped entirely. It is the scan-path contract of every
+// store here.
+type Visible struct {
+	in      Iterator
+	lastKey []byte
+	valid   bool
+}
+
+// NewVisible wraps in. The wrapped iterator must produce (key asc, seq
+// desc) order, as Merging does.
+func NewVisible(in Iterator) *Visible { return &Visible{in: in} }
+
+// advance finds the next visible entry, assuming in is positioned at a
+// candidate (the newest version of some key not yet yielded).
+func (v *Visible) advance() {
+	for v.in.Valid() {
+		k := v.in.Key()
+		if v.lastKey != nil && bytes.Equal(k, v.lastKey) {
+			v.in.Next() // older version of a yielded/skipped key
+			continue
+		}
+		v.lastKey = append(v.lastKey[:0], k...)
+		if v.in.Kind() == keys.KindDelete {
+			v.in.Next() // tombstone: hide the key entirely
+			continue
+		}
+		v.valid = true
+		return
+	}
+	v.valid = false
+}
+
+// SeekToFirst positions at the first visible entry.
+func (v *Visible) SeekToFirst() {
+	v.in.SeekToFirst()
+	v.lastKey = nil
+	v.advance()
+}
+
+// Seek positions at the first visible entry with key ≥ key.
+func (v *Visible) Seek(key []byte) {
+	v.in.Seek(key)
+	v.lastKey = nil
+	v.advance()
+}
+
+// Next advances to the next visible key.
+func (v *Visible) Next() {
+	if !v.valid {
+		return
+	}
+	v.in.Next()
+	v.advance()
+}
+
+// Valid reports whether positioned on a visible entry.
+func (v *Visible) Valid() bool { return v.valid }
+
+// Key returns the current user key.
+func (v *Visible) Key() []byte { return v.in.Key() }
+
+// Value returns the current value.
+func (v *Visible) Value() []byte { return v.in.Value() }
+
+// Seq returns the current sequence number.
+func (v *Visible) Seq() uint64 { return v.in.Seq() }
+
+// Kind returns keys.KindSet (tombstones are filtered).
+func (v *Visible) Kind() keys.Kind { return v.in.Kind() }
+
+var _ Iterator = (*Visible)(nil)
+
+// Single is a one-entry iterator, used to expose a zero-copy merge's
+// in-flight insertion-mark node to scans.
+type Single struct {
+	K     []byte
+	V     []byte
+	S     uint64
+	Kd    keys.Kind
+	valid bool
+}
+
+// NewSingle returns an iterator over exactly one entry.
+func NewSingle(key, value []byte, seq uint64, kind keys.Kind) *Single {
+	return &Single{K: key, V: value, S: seq, Kd: kind}
+}
+
+// SeekToFirst positions on the entry.
+func (s *Single) SeekToFirst() { s.valid = true }
+
+// Seek positions on the entry if its key is ≥ key.
+func (s *Single) Seek(key []byte) { s.valid = bytes.Compare(s.K, key) >= 0 }
+
+// Next exhausts the iterator.
+func (s *Single) Next() { s.valid = false }
+
+// Valid reports whether positioned.
+func (s *Single) Valid() bool { return s.valid }
+
+// Key returns the entry key.
+func (s *Single) Key() []byte { return s.K }
+
+// Value returns the entry value.
+func (s *Single) Value() []byte { return s.V }
+
+// Seq returns the entry sequence.
+func (s *Single) Seq() uint64 { return s.S }
+
+// Kind returns the entry kind.
+func (s *Single) Kind() keys.Kind { return s.Kd }
+
+var _ Iterator = (*Single)(nil)

@@ -1,0 +1,87 @@
+// Package keys defines the internal-key model shared by every store in the
+// repository: MioDB's PMTables, the baselines' memtables and SSTables.
+//
+// A logical entry is (user key, sequence number, kind). Entries order by
+// user key ascending, then sequence number descending, so that the newest
+// version of a key is encountered first during any ordered traversal —
+// the invariant the paper's zero-copy compaction (§4.3) relies on ("data
+// nodes with the same Key are sorted by the Seq in a descending order").
+package keys
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Kind tags an entry as a value write or a deletion tombstone.
+type Kind uint8
+
+const (
+	// KindDelete marks a tombstone.
+	KindDelete Kind = 0
+	// KindSet marks a regular key-value write.
+	KindSet Kind = 1
+)
+
+// MaxSeq is the largest representable sequence number (56 bits, as in
+// LevelDB's packed format).
+const MaxSeq = uint64(1)<<56 - 1
+
+// Compare orders (aKey, aSeq) against (bKey, bSeq): user key ascending,
+// sequence descending. It returns -1, 0, or +1.
+func Compare(aKey []byte, aSeq uint64, bKey []byte, bSeq uint64) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aSeq > bSeq:
+		return -1 // newer sorts first
+	case aSeq < bSeq:
+		return +1
+	default:
+		return 0
+	}
+}
+
+// Trailer packs (seq, kind) into the 8-byte internal-key trailer used by
+// the SSTable format.
+func Trailer(seq uint64, kind Kind) uint64 {
+	return seq<<8 | uint64(kind)
+}
+
+// UnpackTrailer splits a trailer into sequence number and kind.
+func UnpackTrailer(t uint64) (seq uint64, kind Kind) {
+	return t >> 8, Kind(t & 0xff)
+}
+
+// Encode appends the internal encoding of (key, seq, kind) to dst:
+// user key bytes followed by the little-endian 8-byte trailer.
+func Encode(dst, key []byte, seq uint64, kind Kind) []byte {
+	dst = append(dst, key...)
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], Trailer(seq, kind))
+	return append(dst, t[:]...)
+}
+
+// Decode splits an encoded internal key into its parts. It returns ok=false
+// for malformed input (shorter than the trailer).
+func Decode(ikey []byte) (key []byte, seq uint64, kind Kind, ok bool) {
+	if len(ikey) < 8 {
+		return nil, 0, 0, false
+	}
+	n := len(ikey) - 8
+	t := binary.LittleEndian.Uint64(ikey[n:])
+	seq, kind = UnpackTrailer(t)
+	return ikey[:n], seq, kind, true
+}
+
+// CompareInternal orders two encoded internal keys with the same rule as
+// Compare. Malformed keys order by raw bytes.
+func CompareInternal(a, b []byte) int {
+	ak, as, _, aok := Decode(a)
+	bk, bs, _, bok := Decode(b)
+	if !aok || !bok {
+		return bytes.Compare(a, b)
+	}
+	return Compare(ak, as, bk, bs)
+}

@@ -1,0 +1,124 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		aKey string
+		aSeq uint64
+		bKey string
+		bSeq uint64
+		want int
+	}{
+		{"a", 1, "b", 1, -1},
+		{"b", 1, "a", 1, +1},
+		{"a", 5, "a", 3, -1}, // newer first
+		{"a", 3, "a", 5, +1},
+		{"a", 5, "a", 5, 0},
+		{"", 0, "", 0, 0},
+		{"abc", 1, "abcd", 1, -1},
+	}
+	for _, c := range cases {
+		got := Compare([]byte(c.aKey), c.aSeq, []byte(c.bKey), c.bSeq)
+		if got != c.want {
+			t.Errorf("Compare(%q,%d, %q,%d) = %d, want %d", c.aKey, c.aSeq, c.bKey, c.bSeq, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(ak, bk []byte, as, bs uint64) bool {
+		as &= MaxSeq
+		bs &= MaxSeq
+		return Compare(ak, as, bk, bs) == -Compare(bk, bs, ak, as)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitive(t *testing.T) {
+	type entry struct {
+		K []byte
+		S uint64
+	}
+	f := func(a, b, c entry) bool {
+		a.S &= MaxSeq
+		b.S &= MaxSeq
+		c.S &= MaxSeq
+		ab := Compare(a.K, a.S, b.K, b.S)
+		bc := Compare(b.K, b.S, c.K, c.S)
+		ac := Compare(a.K, a.S, c.K, c.S)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		if ab >= 0 && bc >= 0 && ac < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrailerRoundTrip(t *testing.T) {
+	f := func(seq uint64, kindBit bool) bool {
+		seq &= MaxSeq
+		kind := KindDelete
+		if kindBit {
+			kind = KindSet
+		}
+		s, k := UnpackTrailer(Trailer(seq, kind))
+		return s == seq && k == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	f := func(key []byte, seq uint64, kindBit bool) bool {
+		seq &= MaxSeq
+		kind := KindDelete
+		if kindBit {
+			kind = KindSet
+		}
+		enc := Encode(nil, key, seq, kind)
+		k, s, kd, ok := Decode(enc)
+		return ok && bytes.Equal(k, key) && s == seq && kd == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, {1, 2, 3}, make([]byte, 7)} {
+		if _, _, _, ok := Decode(in); ok {
+			t.Errorf("Decode(%d bytes) should fail", len(in))
+		}
+	}
+	// Exactly 8 bytes decodes to the empty key.
+	k, _, _, ok := Decode(make([]byte, 8))
+	if !ok || len(k) != 0 {
+		t.Error("Decode of 8-byte input should yield empty key")
+	}
+}
+
+func TestCompareInternalMatchesCompare(t *testing.T) {
+	f := func(ak, bk []byte, as, bs uint64) bool {
+		as &= MaxSeq
+		bs &= MaxSeq
+		ea := Encode(nil, ak, as, KindSet)
+		eb := Encode(nil, bk, bs, KindSet)
+		return CompareInternal(ea, eb) == Compare(ak, as, bk, bs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package kvstore defines the store interface shared by MioDB and the
+// three baselines (LevelDB-style, NoveLSM, MatrixKV), so the benchmark
+// harness drives all four identically, and the sentinel errors they share.
+package kvstore
+
+import (
+	"errors"
+
+	"miodb/internal/stats"
+)
+
+// ErrNotFound is returned by Get when a key has no live value.
+var ErrNotFound = errors.New("kvstore: not found")
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: closed")
+
+// Store is the uniform surface the benchmark harness drives.
+type Store interface {
+	// Put stores a key-value pair.
+	Put(key, value []byte) error
+	// Get returns the newest live value or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// Delete removes a key.
+	Delete(key []byte) error
+	// Scan calls fn for up to limit live keys ≥ start in order; fn
+	// returning false stops early. limit ≤ 0 means unbounded.
+	Scan(start []byte, limit int, fn func(key, value []byte) bool) error
+	// Flush forces buffered data out and drains background work.
+	Flush() error
+	// Stats returns cost accounting with device traffic attached.
+	Stats() stats.Snapshot
+	// Close shuts the store down.
+	Close() error
+}

@@ -1,0 +1,244 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"miodb/internal/iterx"
+	"miodb/internal/keys"
+)
+
+// compactLevel performs one compaction from level into level+1:
+// pick inputs (all of L0, or one round-robin file of Ln), gather every
+// overlapping file in the next level, merge-sort them dropping shadowed
+// versions, and write fresh SSTables into the next level. The rewrite of
+// next-level data is the write amplification the paper's Fig 2(d) and
+// Fig 11 measure; while L0 is being compacted, incoming flushes stack up
+// and the write path throttles — the stall mechanics of §2.3.
+func (l *Levels) compactLevel(level int) {
+	start := time.Now()
+
+	l.mu.Lock()
+	var inputs []*FileMeta
+	if level == 0 {
+		// All L0 files participate (they overlap arbitrarily).
+		inputs = append(inputs, l.files[0]...)
+	} else {
+		if len(l.files[level]) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		ptr := l.compactPtr[level] % len(l.files[level])
+		inputs = append(inputs, l.files[level][ptr])
+		l.compactPtr[level]++
+	}
+	// Key range of the inputs.
+	var smallest, largest []byte
+	for _, f := range inputs {
+		if smallest == nil || bytes.Compare(f.Smallest, smallest) < 0 {
+			smallest = f.Smallest
+		}
+		if largest == nil || bytes.Compare(f.Largest, largest) > 0 {
+			largest = f.Largest
+		}
+	}
+	// Every next-level file overlapping that range joins the merge.
+	next := level + 1
+	var overlaps []*FileMeta
+	for _, f := range l.files[next] {
+		if bytes.Compare(f.Largest, smallest) < 0 || bytes.Compare(f.Smallest, largest) > 0 {
+			continue
+		}
+		overlaps = append(overlaps, f)
+	}
+	l.mu.Unlock()
+
+	// Merge all inputs. Older duplicates are dropped; tombstones are
+	// dropped only when nothing deeper can hold the key.
+	all := make([]iterx.Iterator, 0, len(inputs)+len(overlaps))
+	for _, f := range inputs {
+		all = append(all, f.table.NewIterator())
+	}
+	for _, f := range overlaps {
+		all = append(all, f.table.NewIterator())
+	}
+	merged := iterx.NewMerging(all...)
+	dropTombstones := l.isBottom(next)
+	src := iterx.Iterator(newDedup(merged, dropTombstones))
+
+	outputs, err := l.buildTables(src, l.opts.TableSize)
+	if err != nil {
+		// The simulated disk cannot fail; a build error is a programming
+		// error worth surfacing loudly in tests.
+		panic(err)
+	}
+
+	// Install: drop inputs from both levels, splice outputs into next.
+	l.mu.Lock()
+	drop := map[uint64]bool{}
+	for _, f := range inputs {
+		drop[f.ID] = true
+	}
+	for _, f := range overlaps {
+		drop[f.ID] = true
+	}
+	keep := func(fs []*FileMeta) []*FileMeta {
+		out := fs[:0:0]
+		for _, f := range fs {
+			if !drop[f.ID] {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	l.files[level] = keep(l.files[level])
+	merged2 := append(keep(l.files[next]), outputs...)
+	sortBySmallest(merged2)
+	l.files[next] = merged2
+	l.mu.Unlock()
+
+	// Remove obsolete files from the disk; open readers hold their data.
+	for _, f := range inputs {
+		l.opts.Disk.Remove(f.Name)
+	}
+	for _, f := range overlaps {
+		l.opts.Disk.Remove(f.Name)
+	}
+
+	if l.opts.Stats != nil {
+		l.opts.Stats.AddCompaction(time.Since(start))
+	}
+}
+
+// isBottom reports whether no level below `level` holds data, so
+// tombstones compacted into it can be dropped.
+func (l *Levels) isBottom(level int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := level + 1; i < len(l.files); i++ {
+		if len(l.files[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func sortBySmallest(fs []*FileMeta) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && bytes.Compare(fs[j].Smallest, fs[j-1].Smallest) < 0; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// dedup yields only the newest version of each key, optionally dropping
+// tombstones (bottom-level semantics). Unlike iterx.Visible it keeps
+// tombstones when they must shadow deeper levels.
+type dedup struct {
+	in             iterx.Iterator
+	dropTombstones bool
+	lastKey        []byte
+	valid          bool
+}
+
+func newDedup(in iterx.Iterator, dropTombstones bool) *dedup {
+	return &dedup{in: in, dropTombstones: dropTombstones}
+}
+
+func (d *dedup) advance() {
+	for d.in.Valid() {
+		k := d.in.Key()
+		if d.lastKey != nil && bytes.Equal(k, d.lastKey) {
+			d.in.Next()
+			continue
+		}
+		d.lastKey = append(d.lastKey[:0], k...)
+		if d.dropTombstones && d.in.Kind() == keys.KindDelete {
+			d.in.Next()
+			continue
+		}
+		d.valid = true
+		return
+	}
+	d.valid = false
+}
+
+func (d *dedup) SeekToFirst() { d.in.SeekToFirst(); d.lastKey = nil; d.advance() }
+func (d *dedup) Seek(key []byte) {
+	d.in.Seek(key)
+	d.lastKey = nil
+	d.advance()
+}
+func (d *dedup) Next() {
+	if !d.valid {
+		return
+	}
+	d.in.Next()
+	d.advance()
+}
+func (d *dedup) Valid() bool     { return d.valid }
+func (d *dedup) Key() []byte     { return d.in.Key() }
+func (d *dedup) Value() []byte   { return d.in.Value() }
+func (d *dedup) Seq() uint64     { return d.in.Seq() }
+func (d *dedup) Kind() keys.Kind { return d.in.Kind() }
+
+var _ iterx.Iterator = (*dedup)(nil)
+
+// MergeIntoLevel merges an external (key asc, seq desc) entry stream with
+// every file of the target level overlapping [smallest, largest] and
+// installs the result back into that level. MatrixKV's column compaction
+// uses it to push matrix-container columns straight into L1, bypassing
+// the L0 file-count machinery entirely — the fine-grained compaction that
+// shortens its stalls.
+func (l *Levels) MergeIntoLevel(level int, extra iterx.Iterator, smallest, largest []byte) error {
+	if level < 1 || level >= len(l.files) {
+		return fmt.Errorf("lsm: MergeIntoLevel(%d) out of range", level)
+	}
+	start := time.Now()
+	l.mu.Lock()
+	var overlaps []*FileMeta
+	for _, f := range l.files[level] {
+		if bytes.Compare(f.Largest, smallest) < 0 || bytes.Compare(f.Smallest, largest) > 0 {
+			continue
+		}
+		overlaps = append(overlaps, f)
+	}
+	l.mu.Unlock()
+
+	all := make([]iterx.Iterator, 0, len(overlaps)+1)
+	all = append(all, extra)
+	for _, f := range overlaps {
+		all = append(all, f.table.NewIterator())
+	}
+	src := newDedup(iterx.NewMerging(all...), l.isBottom(level))
+	outputs, err := l.buildTables(src, l.opts.TableSize)
+	if err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	drop := map[uint64]bool{}
+	for _, f := range overlaps {
+		drop[f.ID] = true
+	}
+	kept := l.files[level][:0:0]
+	for _, f := range l.files[level] {
+		if !drop[f.ID] {
+			kept = append(kept, f)
+		}
+	}
+	kept = append(kept, outputs...)
+	sortBySmallest(kept)
+	l.files[level] = kept
+	l.cond.Broadcast()
+	l.mu.Unlock()
+
+	for _, f := range overlaps {
+		l.opts.Disk.Remove(f.Name)
+	}
+	if l.opts.Stats != nil {
+		l.opts.Stats.AddCompaction(time.Since(start))
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package memtable implements the DRAM write buffer: a skip list inside a
+// DRAM arena, sized so the whole arena can be flushed to NVM with a single
+// bulk copy (one-piece flushing, §4.2). All stores in this repository —
+// MioDB and the baselines — stage writes through this type.
+package memtable
+
+import (
+	"miodb/internal/keys"
+	"miodb/internal/nvm"
+	"miodb/internal/skiplist"
+	"miodb/internal/vaddr"
+)
+
+// MemTable is a DRAM-resident sorted write buffer. Writers must be
+// externally serialized; readers are lock-free.
+type MemTable struct {
+	dev    *nvm.Device
+	region *vaddr.Region
+	list   *skiplist.List
+	limit  int64
+}
+
+// New creates a memtable with the given soft capacity. chunkSize is the
+// arena chunk size and bounds the largest single entry; it should comfortably
+// exceed the largest value the store accepts.
+func New(dev *nvm.Device, capacity int64, chunkSize int) (*MemTable, error) {
+	region := dev.NewRegion(chunkSize)
+	list, err := skiplist.New(region)
+	if err != nil {
+		return nil, err
+	}
+	return &MemTable{dev: dev, region: region, list: list, limit: capacity}, nil
+}
+
+// Add inserts one entry.
+func (m *MemTable) Add(key, value []byte, seq uint64, kind keys.Kind) error {
+	return m.list.Insert(key, value, seq, kind)
+}
+
+// Get returns the newest version of key in this memtable.
+func (m *MemTable) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	return m.list.Get(key)
+}
+
+// Full reports whether the arena has reached its soft capacity and the
+// memtable should be rotated.
+func (m *MemTable) Full() bool { return m.region.Size() >= m.limit }
+
+// ApproximateBytes returns the arena bytes consumed.
+func (m *MemTable) ApproximateBytes() int64 { return m.region.Size() }
+
+// UserBytes returns the key+value payload bytes inserted.
+func (m *MemTable) UserBytes() int64 { return m.list.UserBytes() }
+
+// Count returns the number of entries.
+func (m *MemTable) Count() int64 { return m.list.Count() }
+
+// Empty reports whether no entries have been inserted.
+func (m *MemTable) Empty() bool { return m.list.Empty() }
+
+// List exposes the underlying skip list (for flushing and iteration).
+func (m *MemTable) List() *skiplist.List { return m.list }
+
+// Region exposes the DRAM arena (the unit of one-piece flushing).
+func (m *MemTable) Region() *vaddr.Region { return m.region }
+
+// NewIterator returns an iterator over the memtable in internal-key order.
+func (m *MemTable) NewIterator() *skiplist.Iterator { return m.list.NewIterator() }
+
+// Release frees the DRAM arena. Callers must guarantee no readers remain
+// (the store's version machinery does).
+func (m *MemTable) Release() { m.dev.Release(m.region) }

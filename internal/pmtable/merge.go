@@ -1,0 +1,338 @@
+package pmtable
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"miodb/internal/bloom"
+
+	"miodb/internal/keys"
+	"miodb/internal/skiplist"
+	"miodb/internal/vaddr"
+)
+
+// Merge is one in-flight zero-copy compaction of two PMTables (§4.3): the
+// newer table ("newtable") is drained node by node into the older table
+// ("oldtable") purely by rewriting skip-list pointers with 8-byte atomic
+// stores. No key or value bytes move, so the only write traffic — and the
+// only write amplification — is pointer words.
+//
+// Concurrent reads. While a merge runs, the level exposes the Merge itself
+// as the read source for the pair. A point lookup must observe every node
+// no matter where it currently lives, including the single node in flight
+// between the two lists. The paper's protocol (query newtable → insertion
+// mark → oldtable) closes the two races it describes in §4.3, but a third
+// interleaving remains: a reader that entered the newtable through a stale
+// head pointer can be carried into the oldtable when the in-flight node's
+// towers are rewritten, silently skipping the newtable's remaining nodes.
+// We therefore strengthen the protocol with a seqlock: the merger brackets
+// each node migration with an odd/even position counter, and a reader
+// retries its (newtable, mark, oldtable) probe until it completes within a
+// stable window, falling back to the merge mutex under persistent
+// contention. The common case is uncontended and lock-free, preserving the
+// paper's design intent; the difference is documented here for fidelity.
+//
+// Crash consistency (§4.7). The insertion mark is persisted to an NVM slot
+// before the in-flight node is unlinked; Resume repairs a half-migrated
+// node and continues the drain after a crash.
+type Merge struct {
+	// New is the newer table being drained; Old receives its nodes and
+	// becomes the merged result. Every sequence number in New exceeds
+	// every one in Old (tables within a level hold disjoint, time-ordered
+	// sequence ranges).
+	New, Old *Table
+
+	pos  atomic.Uint64 // seqlock; odd while a node migrates
+	mu   sync.Mutex    // merger holds per migration; reader fallback path
+	mark atomic.Uint64 // vaddr.Addr of the in-flight node (0 = none)
+
+	// Optional persistence of the mark for crash recovery.
+	markRegion *vaddr.Region
+	markSlot   vaddr.Addr
+
+	garbage int64 // bytes of duplicate nodes logically deleted
+	moved   int64 // nodes migrated
+	done    atomic.Bool
+	result  *Table
+}
+
+// NewMerge pairs two tables of one level for zero-copy compaction.
+// newT must be the newer table (larger ID).
+func NewMerge(newT, oldT *Table) *Merge {
+	if newT.ID < oldT.ID {
+		panic("pmtable: merge pair ordered backwards")
+	}
+	return &Merge{New: newT, Old: oldT}
+}
+
+// SetPersistSlot directs the merge to persist its insertion mark into the
+// given 8-byte NVM slot, enabling crash recovery of an interrupted merge.
+func (m *Merge) SetPersistSlot(region *vaddr.Region, slot vaddr.Addr) {
+	m.markRegion = region
+	m.markSlot = slot
+}
+
+func (m *Merge) setMark(a vaddr.Addr) {
+	m.mark.Store(uint64(a))
+	if m.markRegion != nil {
+		m.markRegion.Store64(m.markSlot, uint64(a))
+	}
+}
+
+// Run drains the newtable into the oldtable and returns the merged table.
+// It must be called exactly once, from the level's compaction goroutine.
+func (m *Merge) Run() *Table {
+	var lastKey []byte
+	lastValid := false
+	for {
+		if !m.step(&lastKey, &lastValid) {
+			break
+		}
+	}
+	return m.finish()
+}
+
+// step migrates one node; it reports false when the newtable is empty.
+//
+// The expensive parts of a migration — the oldtable splice searches, each
+// O(log n) metered NVM reads — run *outside* the locked, seqlock-odd
+// windows: only this merger mutates the two lists, so a splice computed
+// between windows stays valid. The locked windows contain nothing but
+// pointer stores, keeping reader fallback waits to a microsecond — the
+// paper's lock-free spirit with the seqlock safety net.
+func (m *Merge) step(lastKey *[]byte, lastValid *bool) bool {
+	n := m.New.list.First()
+	if n.IsNil() {
+		return false
+	}
+	key := n.Key()
+	dropDup := *lastValid && bytes.Equal(key, *lastKey)
+
+	// Phase 0 (unlocked): compute the oldtable insertion splice.
+	var prev [skiplist.MaxHeight]skiplist.Node
+	if !dropDup {
+		m.Old.list.FindSplice(key, n.Seq(), &prev)
+	}
+
+	// Phase 1 (locked, pos odd): the migration itself — mark, unlink
+	// from the newtable, relink into the oldtable. Pointer stores only.
+	m.mu.Lock()
+	m.pos.Add(1)
+	// 1. Record the node in the insertion mark (persisted first, §4.3),
+	//    so it stays visible while belonging to neither list.
+	m.setMark(n.Addr())
+	// 2. Remove it from the newtable: atomic head-pointer stores.
+	m.New.list.RemoveFirst()
+	if dropDup {
+		// Older version of the key just merged: logically delete it
+		// outright (the paper's N_d5 case). Its bytes are reclaimed with
+		// the arena after lazy-copy compaction.
+		m.garbage += n.Size()
+	} else {
+		// 3. Insert into the oldtable at its (key, seq) position.
+		m.Old.list.InsertNodeWithSplice(n, &prev)
+		m.moved++
+	}
+	m.setMark(vaddr.NilAddr)
+	m.pos.Add(1)
+	m.mu.Unlock()
+
+	if dropDup {
+		return true
+	}
+
+	// Phase 2: unlink superseded versions now directly behind n (the
+	// N_d4/N_d3 case) — search unlocked, unlink in a short locked window.
+	for {
+		succAddr := n.NextAddr0()
+		if succAddr.IsNil() {
+			break
+		}
+		succ := m.Old.list.Node(succAddr)
+		if !bytes.Equal(succ.Key(), key) {
+			break
+		}
+		var dprev [skiplist.MaxHeight]skiplist.Node
+		m.Old.list.FindSplice(key, succ.Seq(), &dprev)
+		m.mu.Lock()
+		m.pos.Add(1)
+		m.Old.list.RemoveWithSplice(succ, &dprev)
+		m.garbage += succ.Size()
+		m.pos.Add(1)
+		m.mu.Unlock()
+	}
+	*lastKey = append((*lastKey)[:0], key...)
+	*lastValid = true
+	return true
+}
+
+// finish publishes the merged table.
+func (m *Merge) finish() *Table {
+	var filter *bloom.Filter
+	if m.Old.filter != nil {
+		filter = m.Old.filter.Clone()
+		// Same-parameter filters by construction; Merge cannot fail.
+		if err := filter.Merge(m.New.filter); err != nil {
+			panic(err)
+		}
+	}
+	regions := make([]*vaddr.Region, 0, len(m.Old.regions)+len(m.New.regions))
+	regions = append(regions, m.Old.regions...)
+	regions = append(regions, m.New.regions...)
+
+	result := &Table{
+		ID:      m.New.ID,
+		list:    m.Old.list,
+		filter:  filter,
+		regions: regions,
+		MinSeq:  m.Old.MinSeq,
+		MaxSeq:  m.New.MaxSeq,
+	}
+	result.garbage.Store(m.Old.garbage.Load() + m.New.garbage.Load() + m.garbage)
+	// Ownership of every arena moves to the result. The drained source
+	// skeletons keep their region slices until the engine drops them
+	// under its structural lock (DropRegions) — clearing them here would
+	// race with a concurrent manifest snapshot reading Regions().
+	m.New.MarkReclaimable()
+	m.Old.MarkReclaimable()
+	m.result = result
+	m.done.Store(true)
+	return result
+}
+
+// Result returns the merged table once Run has completed, else nil.
+func (m *Merge) Result() *Table {
+	if !m.done.Load() {
+		return nil
+	}
+	return m.result
+}
+
+// Done reports whether the merge has completed.
+func (m *Merge) Done() bool { return m.done.Load() }
+
+// Get performs a linearizable point lookup across the merging pair. It
+// probes newtable → insertion mark → oldtable (the §4.3 read protocol)
+// inside a seqlock window, retrying if a node migrated mid-probe.
+func (m *Merge) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	// A probe costs three list searches, a migration only a little more;
+	// when the merger is hot, optimistic retries lose the race over and
+	// over, so cut over to the mutex quickly.
+	for tries := 0; tries < 4; tries++ {
+		v1 := m.pos.Load()
+		if v1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		value, seq, kind, ok = m.getOnce(key)
+		if m.pos.Load() == v1 {
+			return value, seq, kind, ok
+		}
+	}
+	// Persistent contention with the merger: serialize behind one step.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.getOnce(key)
+}
+
+func (m *Merge) getOnce(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	consider := func(v []byte, s uint64, k keys.Kind) {
+		if !ok || s > seq {
+			value, seq, kind, ok = v, s, k, true
+		}
+	}
+	if v, s, k, found := m.New.list.Get(key); found {
+		consider(v, s, k)
+	}
+	if a := vaddr.Addr(m.mark.Load()); !a.IsNil() {
+		n := m.New.list.Node(a)
+		if bytes.Equal(n.Key(), key) {
+			consider(n.Value(), n.Seq(), n.Kind())
+		}
+	}
+	if v, s, k, found := m.Old.list.Get(key); found {
+		consider(v, s, k)
+	}
+	return value, seq, kind, ok
+}
+
+// MayContain consults both tables' filters.
+func (m *Merge) MayContain(key []byte) bool {
+	return m.New.MayContain(key) || m.Old.MayContain(key)
+}
+
+// MarkNode returns the in-flight node, if any, for scan paths that must
+// not miss it.
+func (m *Merge) MarkNode() (skiplist.Node, bool) {
+	a := vaddr.Addr(m.mark.Load())
+	if a.IsNil() {
+		return skiplist.Node{}, false
+	}
+	return m.New.list.Node(a), true
+}
+
+// Moved returns the number of nodes migrated into the oldtable.
+func (m *Merge) Moved() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.moved
+}
+
+// Garbage returns bytes of duplicates logically deleted so far.
+func (m *Merge) Garbage() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.garbage
+}
+
+// Resume repairs the state of a merge interrupted by a crash — the mark
+// slot still names an in-flight node — and then drains the remainder.
+// The repair makes the interrupted migration idempotent: the node is
+// unlinked from whichever list(s) partially reference it and re-migrated
+// from scratch, using the oldtable's content to re-decide the
+// duplicate-drop case (§4.7's corner cases 1–3 all reduce to this).
+func (m *Merge) Resume(markAddr vaddr.Addr) *Table {
+	if !markAddr.IsNil() {
+		n := m.New.list.Node(markAddr)
+		key := append([]byte(nil), n.Key()...)
+		seq := n.Seq()
+
+		// The in-flight node belonged to neither list at crash time, so
+		// the filters rebuilt from list scans at attach time are missing
+		// its key; restore it before the merged filter is derived.
+		// Recovery is single-threaded here, so mutating the filter is
+		// safe.
+		if m.Old.filter != nil {
+			m.Old.filter.Add(key)
+		}
+
+		// If the node is still (fully or partially) linked in the
+		// newtable, its only predecessor is the head: redo the removal.
+		if first := m.New.list.First(); !first.IsNil() && first.Addr() == markAddr {
+			m.New.list.RemoveFirst()
+		}
+		// If level-0 linkage into the oldtable happened, unlink whatever
+		// levels were completed so we can re-insert cleanly.
+		if !m.Old.list.Remove(key, seq).IsNil() {
+			// removed; will re-insert below
+		}
+		// Re-decide: does the oldtable already hold a newer version?
+		if ex := m.Old.list.FindGE(key); !ex.IsNil() && bytes.Equal(ex.Key(), key) && ex.Seq() > seq {
+			m.garbage += n.Size() // duplicate: drop for good
+		} else {
+			m.Old.list.InsertNode(n)
+			for {
+				d := m.Old.list.RemoveAfter(n)
+				if d.IsNil() {
+					break
+				}
+				m.garbage += d.Size()
+			}
+			m.moved++
+		}
+		m.setMark(vaddr.NilAddr)
+	}
+	return m.Run()
+}

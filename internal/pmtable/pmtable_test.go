@@ -1,0 +1,596 @@
+package pmtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"miodb/internal/keys"
+	"miodb/internal/memtable"
+	"miodb/internal/nvm"
+	"miodb/internal/vaddr"
+)
+
+func devices() (dram, nv *nvm.Device) {
+	space := vaddr.NewSpace()
+	return nvm.NewDevice(space, nvm.DRAMProfile()), nvm.NewDevice(space, nvm.NVMProfile())
+}
+
+func fp() FilterParams { return FilterParams{ExpectedKeys: 4096, BitsPerKey: 16} }
+
+// buildTable creates a PMTable via the real path: memtable → one-piece
+// flush. Sequence numbers are [seqBase, seqBase+n).
+func buildTable(t testing.TB, dram, nv *nvm.Device, id uint64, seqBase uint64, kvs map[string]string) *Table {
+	t.Helper()
+	mt, err := memtable.New(dram, 1<<30, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := make([]string, 0, len(kvs))
+	for k := range kvs {
+		ks = append(ks, k)
+	}
+	// Insert in random-ish deterministic order.
+	rnd := rand.New(rand.NewSource(int64(id)))
+	rnd.Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+	seq := seqBase
+	var minSeq, maxSeq uint64
+	minSeq = seq
+	for _, k := range ks {
+		kind := keys.KindSet
+		v := kvs[k]
+		if v == "<del>" {
+			kind = keys.KindDelete
+			v = ""
+		}
+		if err := mt.Add([]byte(k), []byte(v), seq, kind); err != nil {
+			t.Fatal(err)
+		}
+		maxSeq = seq
+		seq++
+	}
+	tbl := Flush(nv, mt, id, minSeq, maxSeq, fp())
+	mt.Release()
+	return tbl
+}
+
+func TestFlushProducesEquivalentTable(t *testing.T) {
+	dram, nv := devices()
+	kvs := map[string]string{}
+	for i := 0; i < 300; i++ {
+		kvs[fmt.Sprintf("key-%04d", i)] = fmt.Sprintf("val-%04d", i)
+	}
+	tbl := buildTable(t, dram, nv, 1, 1, kvs)
+	if tbl.Count() != int64(len(kvs)) {
+		t.Fatalf("Count = %d, want %d", tbl.Count(), len(kvs))
+	}
+	for k, v := range kvs {
+		got, _, kind, ok := tbl.Get([]byte(k))
+		if !ok || string(got) != v || kind != keys.KindSet {
+			t.Fatalf("Get(%s) = %q ok=%v", k, got, ok)
+		}
+		if !tbl.MayContain([]byte(k)) {
+			t.Fatalf("bloom false negative for %s", k)
+		}
+	}
+	if _, _, _, ok := tbl.Get([]byte("absent")); ok {
+		t.Error("Get(absent) found something")
+	}
+	if n, err := tbl.List().CheckInvariants(); err != nil || n != len(kvs) {
+		t.Fatalf("invariants: n=%d err=%v", n, err)
+	}
+	// The flushed table must live entirely on the NVM device's region.
+	if len(tbl.Regions()) != 1 {
+		t.Fatalf("regions = %d", len(tbl.Regions()))
+	}
+}
+
+func TestFlushChargesOneBulkWrite(t *testing.T) {
+	dram, nv := devices()
+	kvs := map[string]string{}
+	for i := 0; i < 100; i++ {
+		kvs[fmt.Sprintf("key-%04d", i)] = "0123456789"
+	}
+	before := nv.Counters()
+	tbl := buildTable(t, dram, nv, 1, 1, kvs)
+	after := nv.Counters()
+	written := after.BytesWritten - before.BytesWritten
+	// One-piece flush ≈ arena extent + pointer swizzling; far below the
+	// 2× that per-entry copy + re-insert would cost, and at least the
+	// user payload.
+	if written < tbl.UserBytes() {
+		t.Errorf("flush wrote %d bytes < user bytes %d", written, tbl.UserBytes())
+	}
+	if written > 4*tbl.UserBytes()+1<<16 {
+		t.Errorf("flush wrote %d bytes, suspiciously more than arena size (user=%d)", written, tbl.UserBytes())
+	}
+}
+
+func TestZeroCopyMergeDistinctKeys(t *testing.T) {
+	dram, nv := devices()
+	// 1 KiB values: the zero-copy property (pointer-only traffic ≪
+	// payload) is only observable with non-trivial values.
+	pad := string(bytes.Repeat([]byte("x"), 1024))
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{"a": "1" + pad, "c": "3" + pad, "e": "5" + pad})
+	newer := buildTable(t, dram, nv, 2, 100, map[string]string{"b": "2" + pad, "d": "4" + pad, "f": "6" + pad})
+
+	written := nv.Counters().BytesWritten
+	merged := NewMerge(newer, old).Run()
+	mergeTraffic := nv.Counters().BytesWritten - written
+
+	if merged.Count() != 6 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	for _, kv := range []struct{ k, v string }{
+		{"a", "1" + pad}, {"b", "2" + pad}, {"c", "3" + pad},
+		{"d", "4" + pad}, {"e", "5" + pad}, {"f", "6" + pad},
+	} {
+		got, _, _, ok := merged.Get([]byte(kv.k))
+		if !ok || string(got) != kv.v {
+			t.Fatalf("merged.Get(%s) = %q ok=%v", kv.k, got, ok)
+		}
+		if !merged.MayContain([]byte(kv.k)) {
+			t.Fatalf("merged bloom lost %s", kv.k)
+		}
+	}
+	if _, err := merged.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero copy: traffic is pointers only — strictly less than the
+	// payload that a copying merge would have moved.
+	if user := merged.UserBytes(); mergeTraffic >= user {
+		t.Errorf("zero-copy merge wrote %d bytes ≥ user payload %d", mergeTraffic, user)
+	}
+	if len(merged.Regions()) != 2 {
+		t.Errorf("merged table should own both arenas, has %d", len(merged.Regions()))
+	}
+	if !old.Reclaimable() || !newer.Reclaimable() {
+		t.Error("source tables not marked reclaimable")
+	}
+}
+
+func TestZeroCopyMergeDeduplicates(t *testing.T) {
+	dram, nv := devices()
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{
+		"a": "old-a", "b": "old-b", "c": "old-c", "z": "old-z",
+	})
+	newer := buildTable(t, dram, nv, 2, 100, map[string]string{
+		"a": "new-a", "c": "new-c", "m": "new-m",
+	})
+	merged := NewMerge(newer, old).Run()
+	want := map[string]string{
+		"a": "new-a", "b": "old-b", "c": "new-c", "m": "new-m", "z": "old-z",
+	}
+	if merged.Count() != int64(len(want)) {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), len(want))
+	}
+	for k, v := range want {
+		got, _, _, ok := merged.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("merged.Get(%s) = %q ok=%v, want %q", k, got, ok, v)
+		}
+	}
+	if merged.Garbage() == 0 {
+		t.Error("dedup produced no garbage accounting")
+	}
+	if _, err := merged.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCopyMergeMultiVersionNewtable(t *testing.T) {
+	// A newtable that itself carries several versions of one key (an L0
+	// table flushed from a memtable with repeated updates).
+	dram, nv := devices()
+	mt, _ := memtable.New(dram, 1<<30, 1<<20)
+	for i := 1; i <= 5; i++ {
+		mt.Add([]byte("k"), []byte(fmt.Sprintf("v%d", i)), uint64(100+i), keys.KindSet)
+	}
+	mt.Add([]byte("q"), []byte("qv"), 110, keys.KindSet)
+	newer := Flush(nv, mt, 2, 101, 110, fp())
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{"k": "v0", "x": "xv"})
+
+	merged := NewMerge(newer, old).Run()
+	got, seq, _, ok := merged.Get([]byte("k"))
+	if !ok || string(got) != "v5" || seq != 105 {
+		t.Fatalf("merged.Get(k) = %q seq=%d", got, seq)
+	}
+	// All older versions must be logically gone.
+	if merged.Count() != 3 { // k, q, x
+		t.Fatalf("merged count = %d, want 3", merged.Count())
+	}
+	if _, err := merged.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeChainAcrossLevels(t *testing.T) {
+	// Simulate the elastic buffer: repeatedly merge pairs as the level
+	// compactors would, and verify the final huge table.
+	dram, nv := devices()
+	golden := map[string]string{}
+	var tables []*Table
+	seq := uint64(1)
+	for ti := 0; ti < 8; ti++ {
+		kvs := map[string]string{}
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("key-%04d", (ti*37+i*13)%400)
+			v := fmt.Sprintf("val-%d-%d", ti, i)
+			kvs[k] = v
+		}
+		tbl := buildTable(t, dram, nv, uint64(ti+1), seq, kvs)
+		seq += uint64(len(kvs)) + 10
+		for k, v := range kvs {
+			golden[k] = v // later tables win
+		}
+		tables = append(tables, tbl)
+	}
+	// Binary-tree merge, always newer into older.
+	for len(tables) > 1 {
+		var next []*Table
+		for i := 0; i+1 < len(tables); i += 2 {
+			next = append(next, NewMerge(tables[i+1], tables[i]).Run())
+		}
+		if len(tables)%2 == 1 {
+			next = append(next, tables[len(tables)-1])
+		}
+		tables = next
+	}
+	final := tables[0]
+	if final.Count() != int64(len(golden)) {
+		t.Fatalf("final count = %d, want %d", final.Count(), len(golden))
+	}
+	for k, v := range golden {
+		got, _, _, ok := final.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("final.Get(%s) = %q ok=%v, want %q", k, got, ok, v)
+		}
+	}
+	if _, err := final.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Regions()) != 8 {
+		t.Errorf("final table should own 8 arenas, has %d", len(final.Regions()))
+	}
+}
+
+func TestConcurrentReadsDuringMerge(t *testing.T) {
+	dram, nv := devices()
+	oldKVs := map[string]string{}
+	newKVs := map[string]string{}
+	for i := 0; i < 400; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		oldKVs[k] = "old-" + k
+		if i%2 == 0 {
+			newKVs[k] = "new-" + k
+		}
+	}
+	for i := 400; i < 600; i++ {
+		newKVs[fmt.Sprintf("key-%05d", i)] = "fresh"
+	}
+	old := buildTable(t, dram, nv, 1, 1, oldKVs)
+	newer := buildTable(t, dram, nv, 2, 10000, newKVs)
+	m := NewMerge(newer, old)
+
+	expect := map[string]string{}
+	for k, v := range oldKVs {
+		expect[k] = v
+	}
+	for k, v := range newKVs {
+		expect[k] = v
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rnd.Intn(600)
+				k := fmt.Sprintf("key-%05d", i)
+				v, _, _, ok := m.Get([]byte(k))
+				if !ok {
+					select {
+					case errCh <- fmt.Errorf("reader missed %s during merge", k):
+					default:
+					}
+					return
+				}
+				if string(v) != expect[k] {
+					select {
+					case errCh <- fmt.Errorf("reader got %q for %s, want %q", v, k, expect[k]):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	merged := m.Run()
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if merged.Count() != int64(len(expect)) {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), len(expect))
+	}
+	if _, err := merged.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeResumeAfterCrash(t *testing.T) {
+	// Interrupt a merge at every partial-migration state Resume must
+	// repair, then verify the resumed merge converges to the right table.
+	type crashPoint int
+	const (
+		afterMark crashPoint = iota
+		afterRemove
+		afterInsert
+	)
+	for _, cp := range []crashPoint{afterMark, afterRemove, afterInsert} {
+		dram, nv := devices()
+		old := buildTable(t, dram, nv, 1, 1, map[string]string{
+			"a": "old-a", "b": "old-b", "d": "old-d",
+		})
+		newer := buildTable(t, dram, nv, 2, 100, map[string]string{
+			"b": "new-b", "c": "new-c",
+		})
+
+		// Manually perform the first migration up to the crash point,
+		// mimicking Merge.step on the first node of the newtable ("b").
+		n := newer.List().First()
+		markAddr := n.Addr()
+		if cp >= afterRemove {
+			newer.List().RemoveFirst()
+		}
+		if cp >= afterInsert {
+			old.List().InsertNode(n)
+			// crash before duplicate unlink and mark clear
+		}
+
+		m := NewMerge(newer, old)
+		merged := m.Resume(markAddr)
+
+		want := map[string]string{"a": "old-a", "b": "new-b", "c": "new-c", "d": "old-d"}
+		if merged.Count() != int64(len(want)) {
+			t.Fatalf("cp=%d: merged count = %d, want %d", cp, merged.Count(), len(want))
+		}
+		for k, v := range want {
+			got, _, _, ok := merged.Get([]byte(k))
+			if !ok || string(got) != v {
+				t.Fatalf("cp=%d: Get(%s) = %q ok=%v, want %q", cp, k, got, ok, v)
+			}
+		}
+		if _, err := merged.List().CheckInvariants(); err != nil {
+			t.Fatalf("cp=%d: %v", cp, err)
+		}
+	}
+}
+
+func TestMergePersistedMarkSlot(t *testing.T) {
+	dram, nv := devices()
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{"a": "1"})
+	newer := buildTable(t, dram, nv, 2, 100, map[string]string{"b": "2"})
+	slotRegion := nv.NewRegion(4096)
+	slot, _ := slotRegion.Alloc(8)
+	m := NewMerge(newer, old)
+	m.SetPersistSlot(slotRegion, slot)
+	m.Run()
+	// After a clean merge the persisted mark must be nil.
+	if a := vaddr.Addr(slotRegion.Load64(slot)); !a.IsNil() {
+		t.Errorf("persisted mark = %v after clean merge", a)
+	}
+}
+
+func TestRepositoryAbsorb(t *testing.T) {
+	dram, nv := devices()
+	repo, err := NewRepository(nv, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{}
+	seq := uint64(1)
+	for round := 0; round < 5; round++ {
+		kvs := map[string]string{}
+		for i := 0; i < 120; i++ {
+			k := fmt.Sprintf("key-%04d", (round*29+i*7)%300)
+			v := fmt.Sprintf("val-%d-%d", round, i)
+			if (round+i)%11 == 0 {
+				v = "<del>"
+			}
+			kvs[k] = v
+		}
+		tbl := buildTable(t, dram, nv, uint64(round+1), seq, kvs)
+		seq += 1000
+		if err := repo.Absorb(tbl); err != nil {
+			t.Fatal(err)
+		}
+		if !tbl.Reclaimable() {
+			t.Fatal("absorbed table not reclaimable")
+		}
+		for k, v := range kvs {
+			if v == "<del>" {
+				delete(golden, k)
+			} else {
+				golden[k] = v
+			}
+		}
+	}
+	if repo.Count() != int64(len(golden)) {
+		t.Fatalf("repo count = %d, want %d", repo.Count(), len(golden))
+	}
+	for k, v := range golden {
+		got, _, _, ok := repo.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("repo.Get(%s) = %q ok=%v, want %q", k, got, ok, v)
+		}
+	}
+	// Deleted keys are truly gone — no tombstones at the bottom.
+	it := repo.NewIterator()
+	n := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if it.Kind() == keys.KindDelete {
+			t.Fatalf("tombstone %q survived in repository", it.Key())
+		}
+		n++
+	}
+	if n != len(golden) {
+		t.Fatalf("repo iteration found %d entries, want %d", n, len(golden))
+	}
+	if repo.GarbageBytes() == 0 {
+		t.Error("overwrites produced no repository garbage accounting")
+	}
+	if repo.CopiedBytes() == 0 {
+		t.Error("lazy copy accounted no copied bytes")
+	}
+	if _, err := repo.List().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepositoryConcurrentReadsDuringAbsorb(t *testing.T) {
+	dram, nv := devices()
+	repo, _ := NewRepository(nv, 1<<20)
+	base := map[string]string{}
+	for i := 0; i < 300; i++ {
+		base[fmt.Sprintf("key-%04d", i)] = "base"
+	}
+	t0 := buildTable(t, dram, nv, 1, 1, base)
+	if err := repo.Absorb(t0); err != nil {
+		t.Fatal(err)
+	}
+
+	update := map[string]string{}
+	for i := 0; i < 300; i += 2 {
+		update[fmt.Sprintf("key-%04d", i)] = "updated"
+	}
+	t1 := buildTable(t, dram, nv, 2, 1000, update)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key-%04d", rnd.Intn(300))
+				v, _, _, ok := repo.Get([]byte(k))
+				if !ok || (string(v) != "base" && string(v) != "updated") {
+					select {
+					case errCh <- fmt.Errorf("repo.Get(%s) = %q ok=%v", k, v, ok):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	if err := repo.Absorb(t1); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		want := "base"
+		if i%2 == 0 {
+			want = "updated"
+		}
+		v, _, _, ok := repo.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("after absorb, Get(%s) = %q, want %q", k, v, want)
+		}
+	}
+}
+
+func TestArenaReleaseAfterLazyCopy(t *testing.T) {
+	dram, nv := devices()
+	repo, _ := NewRepository(nv, 1<<20)
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{"a": "1", "b": "2"})
+	newer := buildTable(t, dram, nv, 2, 100, map[string]string{"b": "3", "c": "4"})
+	merged := NewMerge(newer, old).Run()
+	if err := repo.Absorb(merged); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's lazy freeing: after lazy-copy, every consumed arena is
+	// released wholesale, and the repository still serves everything.
+	merged.ReleaseRegions(nv)
+	for k, v := range map[string]string{"a": "1", "b": "3", "c": "4"} {
+		got, _, _, ok := repo.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("after arena release, repo.Get(%s) = %q ok=%v", k, got, ok)
+		}
+	}
+}
+
+func TestAttachRebuildsTable(t *testing.T) {
+	dram, nv := devices()
+	kvs := map[string]string{"x": "1", "y": "2", "z": "3"}
+	tbl := buildTable(t, dram, nv, 7, 50, kvs)
+	re := Attach(nv.Space(), tbl.List().Head(), 7, tbl.Regions(), fp())
+	if re.Count() != 3 || re.MinSeq != 50 || re.MaxSeq != 52 {
+		t.Fatalf("reattached: count=%d seq=[%d,%d]", re.Count(), re.MinSeq, re.MaxSeq)
+	}
+	for k, v := range kvs {
+		got, _, _, ok := re.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("reattached Get(%s) = %q", k, got)
+		}
+		if !re.MayContain([]byte(k)) {
+			t.Fatalf("reattached bloom lost %s", k)
+		}
+	}
+}
+
+func TestMergeOrderValidation(t *testing.T) {
+	dram, nv := devices()
+	old := buildTable(t, dram, nv, 1, 1, map[string]string{"a": "1"})
+	newer := buildTable(t, dram, nv, 2, 100, map[string]string{"b": "2"})
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMerge with reversed pair did not panic")
+		}
+	}()
+	NewMerge(old, newer)
+}
+
+func TestMergeEmptyTables(t *testing.T) {
+	dram, nv := devices()
+	empty1 := buildTable(t, dram, nv, 1, 1, map[string]string{})
+	empty2 := buildTable(t, dram, nv, 2, 2, map[string]string{})
+	merged := NewMerge(empty2, empty1).Run()
+	if merged.Count() != 0 {
+		t.Fatalf("merged empty count = %d", merged.Count())
+	}
+	full := buildTable(t, dram, nv, 3, 10, map[string]string{"k": "v"})
+	merged2 := NewMerge(full, merged).Run()
+	if v, _, _, ok := merged2.Get([]byte("k")); !ok || !bytes.Equal(v, []byte("v")) {
+		t.Fatal("merge with empty old table lost data")
+	}
+}

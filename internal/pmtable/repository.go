@@ -1,0 +1,190 @@
+package pmtable
+
+import (
+	"bytes"
+	"sync"
+
+	"miodb/internal/keys"
+	"miodb/internal/nvm"
+	"miodb/internal/skiplist"
+	"miodb/internal/vaddr"
+)
+
+// Repository is the data repository at the bottom of MioDB (Ln): one huge
+// persistent skip list holding all unique, sorted KV pairs. Tables from
+// L(n-1) are folded in by lazy-copy compaction (§4.4): unlike zero-copy
+// merges, the newest version of each key is physically copied into the
+// repository's own arena — the only data movement in the whole in-memory
+// LSM pipeline, bounding write amplification at WAL + flush + lazy copy
+// ≈ 3×.
+//
+// After an Absorb, every arena of the consumed table is garbage: the
+// engine releases them wholesale once no reader version references them
+// (the paper's lazy memory freeing).
+type Repository struct {
+	dev    *nvm.Device
+	region *vaddr.Region
+
+	mu   sync.Mutex // serializes absorbs (single writer)
+	list *skiplist.List
+
+	garbage int64 // bytes of unlinked (superseded) repository nodes
+	copied  int64 // user bytes physically copied in (lazy-copy traffic)
+}
+
+// NewRepository creates an empty repository on the NVM device.
+func NewRepository(dev *nvm.Device, chunkSize int) (*Repository, error) {
+	region := dev.NewRegion(chunkSize)
+	list, err := skiplist.New(region)
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{dev: dev, region: region, list: list}, nil
+}
+
+// AttachRepository rebuilds a repository view over an existing arena and
+// list head (recovery path).
+func AttachRepository(dev *nvm.Device, region *vaddr.Region, head vaddr.Addr) *Repository {
+	list := skiplist.Attach(dev.Space(), head, region)
+	count := int64(0)
+	bytesIn := int64(0)
+	it := list.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		count++
+		bytesIn += int64(len(it.Key()) + len(it.Value()))
+	}
+	list.SetCount(count)
+	list.AddUserBytes(bytesIn)
+	return &Repository{dev: dev, region: region, list: list}
+}
+
+// Head returns the repository list's head address (persisted in the
+// superblock).
+func (r *Repository) Head() vaddr.Addr { return r.list.Head() }
+
+// Region returns the repository's arena.
+func (r *Repository) Region() *vaddr.Region { return r.region }
+
+// Get returns the value for key, if present.
+func (r *Repository) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	return r.list.Get(key)
+}
+
+// Count returns the number of unique keys stored.
+func (r *Repository) Count() int64 { return r.list.Count() }
+
+// UserBytes returns live key+value payload bytes.
+func (r *Repository) UserBytes() int64 { return r.list.UserBytes() }
+
+// GarbageBytes returns bytes of superseded nodes awaiting compaction.
+func (r *Repository) GarbageBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.garbage
+}
+
+// CopiedBytes returns the cumulative user bytes physically copied by
+// lazy-copy compactions (the ≤1× component of write amplification).
+func (r *Repository) CopiedBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.copied
+}
+
+// NewIterator iterates the repository in key order.
+func (r *Repository) NewIterator() *skiplist.Iterator { return r.list.NewIterator() }
+
+// List exposes the underlying skip list (diagnostics and invariant checks).
+func (r *Repository) List() *skiplist.List { return r.list }
+
+// Absorb lazy-copy-compacts one L(n-1) table into the repository:
+//
+//  1. walk the table in (key asc, seq desc) order; only the first — i.e.
+//     newest — version of each key is considered, the rest are garbage;
+//  2. a tombstone deletes the repository's version outright (the bottom
+//     level retains no tombstones);
+//  3. a value is physically copied into the repository arena, inserted at
+//     its key position, and any superseded repository node is unlinked in
+//     place ("we traverse the data repository from the insertion position
+//     and delete older nodes directly").
+//
+// Readers stay lock-free throughout: inserts publish bottom-up, unlinks
+// never touch the removed node's own towers.
+//
+// The caller must absorb tables oldest-first (ascending ID); a defensive
+// sequence check makes a misordered absorb a no-op per key rather than a
+// corruption.
+func (r *Repository) Absorb(t *Table) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var lastKey []byte
+	lastValid := false
+	it := t.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		key := it.Key()
+		if lastValid && bytes.Equal(key, lastKey) {
+			continue // older version within the same table
+		}
+		lastKey = append(lastKey[:0], key...)
+		lastValid = true
+
+		existing := r.list.FindGE(key)
+		hasExisting := !existing.IsNil() && bytes.Equal(existing.Key(), key)
+		if hasExisting && existing.Seq() >= it.Seq() {
+			continue // repository already newer (defensive)
+		}
+		if it.Kind() == keys.KindDelete {
+			if hasExisting {
+				removed := r.list.Remove(key, existing.Seq())
+				if !removed.IsNil() {
+					r.garbage += removed.Size()
+				}
+			}
+			continue
+		}
+		value := it.Value()
+		n, err := r.list.InsertEntry(key, value, it.Seq(), it.Kind())
+		if err != nil {
+			return err
+		}
+		r.copied += int64(len(key) + len(value))
+		for {
+			d := r.list.RemoveAfter(n)
+			if d.IsNil() {
+				break
+			}
+			r.garbage += d.Size()
+		}
+	}
+	t.MarkReclaimable()
+	return nil
+}
+
+// Release frees the repository arena (store shutdown).
+func (r *Repository) Release() { r.dev.Release(r.region) }
+
+// Compacted builds a fresh repository holding only the live nodes,
+// dropping the garbage left by superseded insert/unlink updates. The
+// engine swaps it in for the old repository and releases the old arena
+// wholesale once readers drain — the repository-level counterpart of the
+// paper's lazy memory freeing, bounding NVM footprint under update-heavy
+// workloads. The copy traffic is charged to the device like any other
+// write (it is real write amplification, amortized by triggering only
+// when garbage exceeds a multiple of live data).
+func (r *Repository) Compacted(chunkSize int) (*Repository, error) {
+	nr, err := NewRepository(r.dev, chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	it := r.NewIterator()
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if err := nr.list.Insert(it.Key(), it.Value(), it.Seq(), it.Kind()); err != nil {
+			return nil, err
+		}
+	}
+	r.mu.Lock()
+	nr.copied = r.copied // carry the cumulative lazy-copy accounting
+	r.mu.Unlock()
+	return nr, nil
+}

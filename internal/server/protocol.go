@@ -1,0 +1,165 @@
+// Package server provides a minimal TCP key-value service over any store
+// in the repository (MioDB or a baseline), plus the matching client. It
+// turns the single-process reproduction into something a downstream user
+// can actually deploy and benchmark over a network.
+//
+// Wire protocol (all integers little-endian):
+//
+//	request  := op(1) | keyLen(4) | key | valLen(4) | val
+//	response := status(1) | payloadLen(4) | payload
+//
+// For SCAN, key is the start key and val carries the 4-byte limit; the
+// response payload is a sequence of keyLen|key|valLen|val pairs.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op codes.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDelete
+	OpScan
+	OpStats
+)
+
+// Status codes.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	StatusError
+)
+
+// maxFrame bounds any key/value/payload length on the wire.
+const maxFrame = 64 << 20
+
+// writeFrame writes one length-prefixed byte string.
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return nil
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed byte string.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// request is one decoded client request.
+type request struct {
+	op       byte
+	key, val []byte
+}
+
+func readRequest(r io.Reader) (request, error) {
+	var op [1]byte
+	if _, err := io.ReadFull(r, op[:]); err != nil {
+		return request{}, err
+	}
+	key, err := readFrame(r)
+	if err != nil {
+		return request{}, err
+	}
+	val, err := readFrame(r)
+	if err != nil {
+		return request{}, err
+	}
+	return request{op: op[0], key: key, val: val}, nil
+}
+
+func writeRequest(w io.Writer, op byte, key, val []byte) error {
+	if _, err := w.Write([]byte{op}); err != nil {
+		return err
+	}
+	if err := writeFrame(w, key); err != nil {
+		return err
+	}
+	return writeFrame(w, val)
+}
+
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	return writeFrame(w, payload)
+}
+
+func readResponse(r io.Reader) (byte, []byte, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return 0, nil, err
+	}
+	payload, err := readFrame(r)
+	return status[0], payload, err
+}
+
+// encodeScanPayload packs scan results as keyLen|key|valLen|val pairs.
+func encodeScanPayload(pairs [][2][]byte) []byte {
+	size := 0
+	for _, p := range pairs {
+		size += 8 + len(p[0]) + len(p[1])
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p[0])))
+		out = append(out, hdr[:]...)
+		out = append(out, p[0]...)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p[1])))
+		out = append(out, hdr[:]...)
+		out = append(out, p[1]...)
+	}
+	return out
+}
+
+// decodeScanPayload unpacks scan results.
+func decodeScanPayload(b []byte) ([][2][]byte, error) {
+	var out [][2][]byte
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("server: truncated scan payload")
+		}
+		kl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < kl+4 {
+			return nil, fmt.Errorf("server: truncated scan key")
+		}
+		k := b[:kl]
+		b = b[kl:]
+		vl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < vl {
+			return nil, fmt.Errorf("server: truncated scan value")
+		}
+		v := b[:vl]
+		b = b[vl:]
+		out = append(out, [2][]byte{k, v})
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"miodb/internal/kvstore"
+)
+
+// Server serves a kvstore.Store over TCP, one goroutine per connection.
+type Server struct {
+	store kvstore.Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New wraps a store.
+func New(store kvstore.Store) *Server {
+	return &Server{store: store, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readRequest(conn)
+		if err != nil {
+			return // disconnect or malformed stream
+		}
+		if err := s.handle(conn, req); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(conn net.Conn, req request) error {
+	switch req.op {
+	case OpGet:
+		v, err := s.store.Get(req.key)
+		switch {
+		case err == nil:
+			return writeResponse(conn, StatusOK, v)
+		case errors.Is(err, kvstore.ErrNotFound):
+			return writeResponse(conn, StatusNotFound, nil)
+		default:
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+	case OpPut:
+		if err := s.store.Put(req.key, req.val); err != nil {
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+		return writeResponse(conn, StatusOK, nil)
+	case OpDelete:
+		if err := s.store.Delete(req.key); err != nil {
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+		return writeResponse(conn, StatusOK, nil)
+	case OpScan:
+		if len(req.val) != 4 {
+			return writeResponse(conn, StatusError, []byte("scan: missing limit"))
+		}
+		limit := int(binary.LittleEndian.Uint32(req.val))
+		var pairs [][2][]byte
+		err := s.store.Scan(req.key, limit, func(k, v []byte) bool {
+			pairs = append(pairs, [2][]byte{
+				append([]byte(nil), k...),
+				append([]byte(nil), v...),
+			})
+			return true
+		})
+		if err != nil {
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+		return writeResponse(conn, StatusOK, encodeScanPayload(pairs))
+	case OpStats:
+		st := s.store.Stats()
+		payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d",
+			st.Puts, st.Gets, st.Deletes, st.Scans, st.WriteAmplification,
+			int64(st.IntervalStall), int64(st.CumulativeStall))
+		return writeResponse(conn, StatusOK, []byte(payload))
+	default:
+		return writeResponse(conn, StatusError, []byte("unknown op"))
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for handlers.
+// The underlying store is not closed (the caller owns it).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a synchronous client for one connection. It is safe for
+// serialized use; open one client per goroutine for concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op byte, key, val []byte) (byte, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.conn, op, key, val); err != nil {
+		return 0, nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// Get fetches the newest value for key; kvstore.ErrNotFound if absent.
+func (c *Client) Get(key []byte) ([]byte, error) {
+	status, payload, err := c.roundTrip(OpGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return payload, nil
+	case StatusNotFound:
+		return nil, kvstore.ErrNotFound
+	default:
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+}
+
+// Put stores a key-value pair.
+func (c *Client) Put(key, value []byte) error {
+	status, payload, err := c.roundTrip(OpPut, key, value)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key []byte) error {
+	status, payload, err := c.roundTrip(OpDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}
+
+// Scan returns up to limit ordered key-value pairs starting at start.
+func (c *Client) Scan(start []byte, limit int) ([][2][]byte, error) {
+	var lim [4]byte
+	binary.LittleEndian.PutUint32(lim[:], uint32(limit))
+	status, payload, err := c.roundTrip(OpScan, start, lim[:])
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+	return decodeScanPayload(payload)
+}
+
+// Stats returns the server's cost-accounting line.
+func (c *Client) Stats() (string, error) {
+	status, payload, err := c.roundTrip(OpStats, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	if status != StatusOK {
+		return "", fmt.Errorf("server: %s", payload)
+	}
+	return string(payload), nil
+}

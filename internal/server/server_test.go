@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"miodb/internal/core"
+	"miodb/internal/kvstore"
+)
+
+type miodbStore struct{ *core.DB }
+
+func (s miodbStore) Flush() error { return s.DB.FlushAll() }
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	db, err := core.Open(core.Options{MemTableSize: 16 << 10, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(miodbStore{db})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, c := startServer(t)
+
+	if err := c.Put([]byte("hello"), []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get([]byte("hello"))
+	if err != nil || string(v) != "world" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := c.Get([]byte("absent")); err != kvstore.ErrNotFound {
+		t.Fatalf("Get(absent) = %v", err)
+	}
+	if err := c.Delete([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get([]byte("hello")); err != kvstore.ErrNotFound {
+		t.Fatalf("Get after Delete = %v", err)
+	}
+}
+
+func TestServerScan(t *testing.T) {
+	_, c := startServer(t)
+	for i := 0; i < 50; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := c.Scan([]byte("k010"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("Scan returned %d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		wantK := fmt.Sprintf("k%03d", 10+i)
+		if string(p[0]) != wantK || string(p[1]) != fmt.Sprintf("v%d", 10+i) {
+			t.Fatalf("pair %d = %s=%s", i, p[0], p[1])
+		}
+	}
+	// Empty scan result.
+	pairs, err = c.Scan([]byte("z"), 10)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("empty scan: %d pairs, %v", len(pairs), err)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	_, c := startServer(t)
+	c.Put([]byte("k"), []byte("v"))
+	c.Get([]byte("k"))
+	line, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(line), []byte("puts=1")) || !bytes.Contains([]byte(line), []byte("gets=1")) {
+		t.Errorf("stats line = %q", line)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t)
+	addr := srv.ln.Addr().String()
+
+	const clients = 4
+	const perClient = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				k := []byte(fmt.Sprintf("c%d-k%04d", g, i))
+				if err := c.Put(k, []byte("v")); err != nil {
+					errCh <- err
+					return
+				}
+				if v, err := c.Get(k); err != nil || string(v) != "v" {
+					errCh <- fmt.Errorf("get %s: %q %v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestScanPayloadRoundTrip(t *testing.T) {
+	in := [][2][]byte{
+		{[]byte("a"), []byte("1")},
+		{[]byte(""), []byte("")},
+		{[]byte("key"), bytes.Repeat([]byte("v"), 1000)},
+	}
+	out, err := decodeScanPayload(encodeScanPayload(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d pairs", len(out))
+	}
+	for i := range in {
+		if !bytes.Equal(in[i][0], out[i][0]) || !bytes.Equal(in[i][1], out[i][1]) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if _, err := decodeScanPayload([]byte{1, 2}); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestServerCloseIsClean(t *testing.T) {
+	db, err := core.Open(core.Options{MemTableSize: 16 << 10, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := New(miodbStore{db})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put([]byte("k"), []byte("v"))
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+	// Requests after close fail at the transport level.
+	if err := c.Put([]byte("k2"), []byte("v")); err == nil {
+		t.Error("Put after server close succeeded")
+	}
+}

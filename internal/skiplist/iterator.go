@@ -1,0 +1,140 @@
+package skiplist
+
+import (
+	"miodb/internal/keys"
+	"miodb/internal/vaddr"
+)
+
+// Iterator walks a list in (key asc, seq desc) order. It is safe to use
+// concurrently with a writer under the list's single-writer discipline;
+// entries inserted after a position was taken may or may not be observed.
+type Iterator struct {
+	l *List
+	n Node
+}
+
+// NewIterator returns an unpositioned iterator (Valid() == false).
+func (l *List) NewIterator() *Iterator { return &Iterator{l: l} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return !it.n.IsNil() }
+
+// SeekToFirst positions on the first entry.
+func (it *Iterator) SeekToFirst() { it.n = it.l.First() }
+
+// Seek positions on the first entry with user key ≥ key (its newest
+// version first).
+func (it *Iterator) Seek(key []byte) { it.n = it.l.seekGE(key, keys.MaxSeq) }
+
+// Next advances to the following entry.
+func (it *Iterator) Next() {
+	if it.n.IsNil() {
+		return
+	}
+	a := it.n.nextAddr(0)
+	if a.IsNil() {
+		it.n = Node{}
+		return
+	}
+	it.n = it.l.Node(a)
+}
+
+// Key returns the current user key (aliases arena memory).
+func (it *Iterator) Key() []byte { return it.n.Key() }
+
+// Value returns the current value (aliases arena memory).
+func (it *Iterator) Value() []byte { return it.n.Value() }
+
+// Seq returns the current sequence number.
+func (it *Iterator) Seq() uint64 { return it.n.Seq() }
+
+// Kind returns the current entry kind.
+func (it *Iterator) Kind() keys.Kind { return it.n.Kind() }
+
+// Node returns the current node reference.
+func (it *Iterator) Node() Node { return it.n }
+
+// Swizzle rewrites every tower pointer of a list that was bulk-copied from
+// src into dst (vaddr.Space.Clone preserves offsets), rebasing addresses
+// from src's region to dst's. It returns the rebased head address.
+//
+// This is the paper's pointer swizzling (§4.2): after one-piece flushing,
+// "all data nodes in the PMTable have the same address offset relative to
+// the MemTable. We can update all pointers in the PMTable according to the
+// relative address." It runs in the background; the copied list is not
+// published to readers until Swizzle returns. Each rewritten pointer is an
+// 8-byte metered NVM write.
+func Swizzle(dst, src *vaddr.Region, oldHead vaddr.Addr) vaddr.Addr {
+	head := vaddr.Rebase(oldHead, src, dst)
+	cur := head
+	for !cur.IsNil() {
+		meta := dst.Uint64(cur.Add(metaOff))
+		height := int(meta & 0xff)
+		for i := 0; i < height; i++ {
+			slot := cur.Add(towerOff + int64(i)*8)
+			old := vaddr.Addr(dst.Uint64(slot))
+			if nw := vaddr.Rebase(old, src, dst); nw != old {
+				dst.Store64(slot, uint64(nw))
+			}
+		}
+		cur = vaddr.Addr(dst.Uint64(cur.Add(towerOff))) // level-0 next, already rebased
+	}
+	return head
+}
+
+// findLast returns the last node of the list, or the nil node. Skip lists
+// are forward-linked, so the search descends the towers rightward —
+// O(log n), the same technique LevelDB's memtable uses for backward
+// iteration.
+func (l *List) findLast() Node {
+	cur := l.headNode()
+	for level := MaxHeight - 1; level >= 0; level-- {
+		for {
+			next := cur.nextAddr(level)
+			if next.IsNil() {
+				break
+			}
+			cur = l.Node(next)
+		}
+	}
+	if cur.addr == l.head {
+		return Node{}
+	}
+	return cur
+}
+
+// findLT returns the rightmost node ordered strictly before (key, seq),
+// or the nil node.
+func (l *List) findLT(key []byte, seq uint64) Node {
+	cur := l.headNode()
+	for level := MaxHeight - 1; level >= 0; level-- {
+		for {
+			nextAddr := cur.nextAddr(level)
+			if nextAddr.IsNil() {
+				break
+			}
+			next := l.Node(nextAddr)
+			if keys.Compare(next.Key(), next.Seq(), key, seq) >= 0 {
+				break
+			}
+			cur = next
+		}
+	}
+	if cur.addr == l.head {
+		return Node{}
+	}
+	return cur
+}
+
+// SeekToLast positions on the last entry.
+func (it *Iterator) SeekToLast() { it.n = it.l.findLast() }
+
+// Prev retreats to the preceding entry. Each step costs a fresh O(log n)
+// descent (the list is forward-linked only); backward scans are therefore
+// log-factor slower than forward scans, as in LevelDB's memtable.
+func (it *Iterator) Prev() {
+	if it.n.IsNil() {
+		return
+	}
+	it.n = it.l.findLT(it.n.Key(), it.n.Seq())
+}

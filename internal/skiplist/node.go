@@ -1,0 +1,155 @@
+// Package skiplist implements the arena-resident skip list used everywhere
+// in the store: DRAM MemTables, persistent PMTables in the simulated NVM,
+// the huge bottom-level repository, and NoveLSM's big NVM memtable.
+//
+// Nodes live inside vaddr regions and link to each other with 64-bit
+// virtual addresses, never Go pointers, so a list survives being bulk-copied
+// between devices (one-piece flushing) and its nodes can be re-linked into
+// another list without moving bytes (zero-copy compaction). Entries order by
+// (user key ascending, sequence descending) — see package keys.
+//
+// Concurrency model, matching LevelDB's memtable and the paper's PMTables:
+// one writer at a time per list, any number of lock-free readers. Writers
+// publish nodes with 8-byte atomic stores bottom-up; readers traverse with
+// atomic loads. Removal never modifies the removed node's own towers, so a
+// reader standing on an unlinked node keeps a valid path forward.
+package skiplist
+
+import (
+	"fmt"
+
+	"miodb/internal/keys"
+	"miodb/internal/vaddr"
+)
+
+// MaxHeight bounds tower height. With p = 1/4 branching, 18 levels index
+// ~4^18 ≈ 6.9×10¹⁰ entries — far beyond any simulated dataset.
+const MaxHeight = 18
+
+// Node layout inside an arena (all fields 8-byte aligned):
+//
+//	word 0  meta:   height(8) | kind(8) | keyLen(16) | valLen(24) | unused(8)
+//	word 1  seq:    sequence number
+//	word 2…2+h-1    next[level] — atomic vaddr.Addr links
+//	…               key bytes, padded to 8
+//	…               value bytes, padded to 8
+const (
+	metaOff  = 0
+	seqOff   = 8
+	towerOff = 16
+
+	maxKeyLen   = 1<<16 - 1
+	maxValueLen = 1<<24 - 1
+)
+
+func packMeta(height int, kind keys.Kind, keyLen, valLen int) uint64 {
+	return uint64(height) |
+		uint64(kind)<<8 |
+		uint64(keyLen)<<16 |
+		uint64(valLen)<<32
+}
+
+// Node is a resolved reference to a skip-list node: the owning region plus
+// the node's virtual address. The zero Node is the nil node.
+type Node struct {
+	region *vaddr.Region
+	addr   vaddr.Addr
+}
+
+// IsNil reports whether n is the nil node.
+func (n Node) IsNil() bool { return n.addr.IsNil() }
+
+// Addr returns the node's virtual address.
+func (n Node) Addr() vaddr.Addr { return n.addr }
+
+func (n Node) meta() uint64 { return n.region.Uint64(n.addr.Add(metaOff)) }
+
+// Height returns the tower height.
+func (n Node) Height() int { return int(n.meta() & 0xff) }
+
+// Kind returns the entry kind (set or tombstone).
+func (n Node) Kind() keys.Kind { return keys.Kind(n.meta() >> 8 & 0xff) }
+
+// KeyLen returns the user-key length in bytes.
+func (n Node) KeyLen() int { return int(n.meta() >> 16 & 0xffff) }
+
+// ValueLen returns the value length in bytes.
+func (n Node) ValueLen() int { return int(n.meta() >> 32 & 0xffffff) }
+
+// Seq returns the sequence number.
+func (n Node) Seq() uint64 { return n.region.Uint64(n.addr.Add(seqOff)) }
+
+// keyOff returns the node-relative offset of the key bytes.
+func (n Node) keyOff(height int) int64 { return towerOff + int64(height)*8 }
+
+// Key returns the user key, charging the device a read of the key bytes.
+// The slice aliases arena memory and must not be retained across region
+// release.
+func (n Node) Key() []byte {
+	m := n.meta()
+	h, kl := int(m&0xff), int(m>>16&0xffff)
+	return n.region.Read(n.addr.Add(n.keyOff(h)), kl)
+}
+
+// Value returns the value bytes, charging the device for the read.
+func (n Node) Value() []byte {
+	m := n.meta()
+	h, kl, vl := int(m&0xff), int(m>>16&0xffff), int(m>>32&0xffffff)
+	return n.region.Read(n.addr.Add(n.keyOff(h)+pad8(kl)), vl)
+}
+
+// Size returns the node's total footprint in bytes.
+func (n Node) Size() int64 {
+	m := n.meta()
+	h, kl, vl := int(m&0xff), int(m>>16&0xffff), int(m>>32&0xffffff)
+	return nodeSize(h, kl, vl)
+}
+
+// towerAddr returns the address of the level-th next pointer.
+func (n Node) towerAddr(level int) vaddr.Addr {
+	return n.addr.Add(towerOff + int64(level)*8)
+}
+
+// NextAddr0 returns the level-0 successor address — exported for the
+// zero-copy merge, which walks duplicates behind a just-inserted node.
+func (n Node) NextAddr0() vaddr.Addr { return n.nextAddr(0) }
+
+// nextAddr atomically loads the level-th successor address, charging an
+// 8-byte device read (one pointer chase in NVM).
+func (n Node) nextAddr(level int) vaddr.Addr {
+	if m := n.region.Meter(); m != nil {
+		m.OnRead(8)
+	}
+	return n.region.LoadAddr(n.towerAddr(level))
+}
+
+// setNext atomically publishes the level-th successor (an 8-byte NVM
+// write — the unit of zero-copy compaction traffic).
+func (n Node) setNext(level int, v vaddr.Addr) {
+	n.region.StoreAddr(n.towerAddr(level), v)
+}
+
+// initNext initializes a tower slot on an unpublished node without
+// metering an extra write (the node fill was charged in bulk).
+func (n Node) initNext(level int, v vaddr.Addr) {
+	n.region.PutUint64(n.towerAddr(level), uint64(v))
+}
+
+func nodeSize(height, keyLen, valLen int) int64 {
+	return towerOff + int64(height)*8 + pad8(keyLen) + pad8(valLen)
+}
+
+func pad8(n int) int64 { return int64(n+7) &^ 7 }
+
+func validateKV(key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("skiplist: empty key")
+	}
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("skiplist: key length %d exceeds max %d", len(key), maxKeyLen)
+	}
+	if len(value) > maxValueLen {
+		return fmt.Errorf("skiplist: value length %d exceeds max %d", len(value), maxValueLen)
+	}
+	return nil
+}

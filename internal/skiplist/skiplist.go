@@ -1,0 +1,384 @@
+package skiplist
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"miodb/internal/keys"
+	"miodb/internal/vaddr"
+)
+
+// List is a skip list whose nodes live in vaddr regions. New nodes are
+// allocated in the home region; after zero-copy merges a list may span
+// nodes from many regions (tracked by the owning PMTable).
+//
+// Writers must be externally serialized (one writer at a time); readers
+// are lock-free.
+type List struct {
+	space *vaddr.Space
+	home  *vaddr.Region
+	head  vaddr.Addr
+	rnd   uint64
+
+	count atomic.Int64 // live entries (volatile bookkeeping)
+	bytes atomic.Int64 // user bytes (key+value) inserted
+}
+
+// New allocates a fresh list (head node) in the home region.
+func New(home *vaddr.Region) (*List, error) {
+	head, err := home.Alloc(int(nodeSize(MaxHeight, 0, 0)))
+	if err != nil {
+		return nil, err
+	}
+	home.PutUint64(head.Add(metaOff), packMeta(MaxHeight, keys.KindSet, 0, 0))
+	home.PutUint64(head.Add(seqOff), 0)
+	for i := 0; i < MaxHeight; i++ {
+		home.PutUint64(head.Add(towerOff+int64(i)*8), uint64(vaddr.NilAddr))
+	}
+	home.ChargeWrite(int(nodeSize(MaxHeight, 0, 0)))
+	return &List{
+		space: home.Space(),
+		home:  home,
+		head:  head,
+		rnd:   uint64(head) ^ 0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// Attach builds a List view over an existing head node (after a one-piece
+// flush, a crash recovery, or a merge). home is where future allocations
+// go; it may be nil for lists that only re-link existing nodes.
+func Attach(space *vaddr.Space, head vaddr.Addr, home *vaddr.Region) *List {
+	return &List{space: space, home: home, head: head, rnd: uint64(head) ^ 0x2545f4914f6cdd1d}
+}
+
+// Head returns the head node's address (persisted in table metadata).
+func (l *List) Head() vaddr.Addr { return l.head }
+
+// Space returns the address space the list lives in.
+func (l *List) Space() *vaddr.Space { return l.space }
+
+// Home returns the allocation region (may be nil).
+func (l *List) Home() *vaddr.Region { return l.home }
+
+// Count returns the number of live entries (approximate under concurrent
+// merge; exact when quiescent).
+func (l *List) Count() int64 { return l.count.Load() }
+
+// SetCount overrides the bookkeeping count (used when attaching to a
+// recovered list whose count is known from metadata or a scan).
+func (l *List) SetCount(n int64) { l.count.Store(n) }
+
+// UserBytes returns the total key+value bytes inserted.
+func (l *List) UserBytes() int64 { return l.bytes.Load() }
+
+// AddUserBytes adjusts the user-byte bookkeeping (used by merges).
+func (l *List) AddUserBytes(n int64) { l.bytes.Add(n) }
+
+// Node resolves a virtual address to a node reference. Single-region
+// lists (memtables, fresh PMTables) resolve through their home region
+// directly, so readers keep working even after the region is detached
+// from the space (retired memtables may still be read by in-flight
+// operations; the chunks stay alive until those drop their references).
+func (l *List) Node(a vaddr.Addr) Node {
+	if a.IsNil() {
+		return Node{}
+	}
+	if l.home != nil && a.Region() == l.home.Index() {
+		return Node{region: l.home, addr: a}
+	}
+	r := l.space.RegionOf(a)
+	if r == nil {
+		panic(fmt.Sprintf("skiplist: dangling node address %v", a))
+	}
+	return Node{region: r, addr: a}
+}
+
+func (l *List) headNode() Node { return l.Node(l.head) }
+
+// randomHeight draws a tower height with branching factor 4 (p = 1/4),
+// LevelDB's choice.
+func (l *List) randomHeight() int {
+	h := 1
+	for h < MaxHeight {
+		// xorshift64*
+		l.rnd ^= l.rnd >> 12
+		l.rnd ^= l.rnd << 25
+		l.rnd ^= l.rnd >> 27
+		if (l.rnd*0x2545f4914f6cdd1d)>>62 != 0 {
+			break
+		}
+		h++
+	}
+	return h
+}
+
+// findSplice locates the insertion position for (key, seq): prev[i] is the
+// rightmost node at level i ordered strictly before (key, seq), and the
+// returned node is the overall successor (first node ≥ (key, seq)), or the
+// nil node.
+func (l *List) findSplice(key []byte, seq uint64, prev *[MaxHeight]Node) Node {
+	cur := l.headNode()
+	var next Node
+	for level := MaxHeight - 1; level >= 0; level-- {
+		for {
+			nextAddr := cur.nextAddr(level)
+			if nextAddr.IsNil() {
+				next = Node{}
+				break
+			}
+			next = l.Node(nextAddr)
+			if keys.Compare(next.Key(), next.Seq(), key, seq) >= 0 {
+				break
+			}
+			cur = next
+		}
+		if prev != nil {
+			prev[level] = cur
+		}
+	}
+	return next
+}
+
+// seekGE returns the first node ≥ (key, seq) without recording the splice.
+func (l *List) seekGE(key []byte, seq uint64) Node {
+	return l.findSplice(key, seq, nil)
+}
+
+// Insert adds a new entry. (key, seq) must be unique within the list —
+// guaranteed by the store's monotonically increasing global sequence.
+func (l *List) Insert(key, value []byte, seq uint64, kind keys.Kind) error {
+	_, err := l.InsertEntry(key, value, seq, kind)
+	return err
+}
+
+// InsertEntry is Insert returning the freshly linked node, so callers such
+// as the repository's lazy-copy compaction can immediately unlink older
+// duplicates behind it.
+func (l *List) InsertEntry(key, value []byte, seq uint64, kind keys.Kind) (Node, error) {
+	if err := validateKV(key, value); err != nil {
+		return Node{}, err
+	}
+	if l.home == nil {
+		return Node{}, fmt.Errorf("skiplist: insert into read-only list")
+	}
+	var prev [MaxHeight]Node
+	next := l.findSplice(key, seq, &prev)
+	if !next.IsNil() && next.Seq() == seq && keys.Compare(next.Key(), next.Seq(), key, seq) == 0 {
+		return Node{}, fmt.Errorf("skiplist: duplicate (key, seq=%d)", seq)
+	}
+
+	height := l.randomHeight()
+	n, err := l.newNode(key, value, seq, kind, height)
+	if err != nil {
+		return Node{}, err
+	}
+	// Link the fresh (unpublished) node to its successors, then publish
+	// bottom-up with atomic stores so readers always see a consistent list.
+	for i := 0; i < height; i++ {
+		n.initNext(i, prev[i].nextAddr(i))
+	}
+	for i := 0; i < height; i++ {
+		prev[i].setNext(i, n.addr)
+	}
+	l.count.Add(1)
+	l.bytes.Add(int64(len(key) + len(value)))
+	return n, nil
+}
+
+// FindGE returns the first node whose user key is ≥ key (the newest
+// version of that key first), or the nil node.
+func (l *List) FindGE(key []byte) Node { return l.seekGE(key, keys.MaxSeq) }
+
+// newNode allocates and fills a node in the home region, charging the
+// device one bulk write for the fill.
+func (l *List) newNode(key, value []byte, seq uint64, kind keys.Kind, height int) (Node, error) {
+	size := int(nodeSize(height, len(key), len(value)))
+	addr, err := l.home.Alloc(size)
+	if err != nil {
+		return Node{}, err
+	}
+	n := Node{region: l.home, addr: addr}
+	l.home.PutUint64(addr.Add(metaOff), packMeta(height, kind, len(key), len(value)))
+	l.home.PutUint64(addr.Add(seqOff), seq)
+	keyAddr := addr.Add(n.keyOff(height))
+	copy(l.home.Bytes(keyAddr, len(key)), key)
+	if len(value) > 0 {
+		copy(l.home.Bytes(keyAddr.Add(pad8(len(key))), len(value)), value)
+	}
+	l.home.ChargeWrite(size)
+	return n, nil
+}
+
+// Get returns the newest version of key, if any version exists.
+func (l *List) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	n := l.seekGE(key, keys.MaxSeq)
+	if n.IsNil() {
+		return nil, 0, 0, false
+	}
+	if keys.Compare(n.Key(), 0, key, 0) != 0 {
+		return nil, 0, 0, false
+	}
+	return n.Value(), n.Seq(), n.Kind(), true
+}
+
+// First returns the first node after the head, or the nil node.
+func (l *List) First() Node {
+	a := l.headNode().nextAddr(0)
+	if a.IsNil() {
+		return Node{}
+	}
+	return l.Node(a)
+}
+
+// Empty reports whether the list has no entries.
+func (l *List) Empty() bool { return l.headNode().nextAddr(0).IsNil() }
+
+// RemoveFirst unlinks and returns the first node. Because the first node's
+// only predecessor at every tower level below its height is the head, the
+// unlink is a top-down sequence of atomic head-pointer stores — the
+// "remove from the newtable" step of zero-copy compaction. The removed
+// node's own towers are left untouched so an in-flight reader standing on
+// it keeps a valid forward path.
+func (l *List) RemoveFirst() Node {
+	head := l.headNode()
+	firstAddr := head.nextAddr(0)
+	if firstAddr.IsNil() {
+		return Node{}
+	}
+	n := l.Node(firstAddr)
+	for level := n.Height() - 1; level >= 0; level-- {
+		head.setNext(level, n.nextAddr(level))
+	}
+	l.count.Add(-1)
+	l.bytes.Add(-int64(n.KeyLen() + n.ValueLen()))
+	return n
+}
+
+// InsertNode links an existing node (typically just removed from another
+// list) into this list at its (key, seq) position — the pointer-only
+// insertion of zero-copy compaction. The node's towers are rewritten with
+// atomic stores; no key or value bytes move.
+func (l *List) InsertNode(n Node) {
+	var prev [MaxHeight]Node
+	l.findSplice(n.Key(), n.Seq(), &prev)
+	l.InsertNodeWithSplice(n, &prev)
+}
+
+// FindSplice computes the insertion splice for (key, seq) — the rightmost
+// node before that position at every level — without mutating anything.
+// Merges run it outside their reader-visible critical section: the search
+// is the expensive part of a node migration (O(log n) NVM reads), while
+// the actual relink is a handful of pointer stores. The splice stays
+// valid as long as no other writer touches the list (the single-merger
+// discipline).
+func (l *List) FindSplice(key []byte, seq uint64, prev *[MaxHeight]Node) Node {
+	return l.findSplice(key, seq, prev)
+}
+
+// InsertNodeWithSplice links n using a precomputed splice: pointer stores
+// only, no searching.
+func (l *List) InsertNodeWithSplice(n Node, prev *[MaxHeight]Node) {
+	height := n.Height()
+	for i := 0; i < height; i++ {
+		n.setNext(i, prev[i].nextAddr(i))
+	}
+	for i := 0; i < height; i++ {
+		prev[i].setNext(i, n.addr)
+	}
+	l.count.Add(1)
+	l.bytes.Add(int64(n.KeyLen() + n.ValueLen()))
+}
+
+// RemoveWithSplice unlinks target using a precomputed splice (prev[i] is
+// target's predecessor at every level where target is linked). The
+// removed node's towers are not modified.
+func (l *List) RemoveWithSplice(target Node, prev *[MaxHeight]Node) {
+	for level := target.Height() - 1; level >= 0; level-- {
+		if prev[level].nextAddr(level) == target.addr {
+			prev[level].setNext(level, target.nextAddr(level))
+		}
+	}
+	l.count.Add(-1)
+	l.bytes.Add(-int64(target.KeyLen() + target.ValueLen()))
+}
+
+// Remove unlinks the node with exactly (key, seq), returning it, or the
+// nil node if absent. The removed node's towers are not modified.
+func (l *List) Remove(key []byte, seq uint64) Node {
+	var prev [MaxHeight]Node
+	next := l.findSplice(key, seq, &prev)
+	if next.IsNil() || next.Seq() != seq || keys.Compare(next.Key(), 0, key, 0) != 0 {
+		return Node{}
+	}
+	for level := next.Height() - 1; level >= 0; level-- {
+		if prev[level].nextAddr(level) == next.addr {
+			prev[level].setNext(level, next.nextAddr(level))
+		}
+	}
+	l.count.Add(-1)
+	l.bytes.Add(-int64(next.KeyLen() + next.ValueLen()))
+	return next
+}
+
+// RemoveAfter unlinks the immediate level-0 successor of n if it has the
+// same user key (an older version). It returns the removed node or the nil
+// node. Used by merges to drop superseded duplicates that directly follow
+// the newly inserted newest version.
+func (l *List) RemoveAfter(n Node) Node {
+	succAddr := n.nextAddr(0)
+	if succAddr.IsNil() {
+		return Node{}
+	}
+	succ := l.Node(succAddr)
+	if keys.Compare(succ.Key(), 0, n.Key(), 0) != 0 {
+		return Node{}
+	}
+	return l.Remove(succ.Key(), succ.Seq())
+}
+
+// CheckInvariants validates structural invariants, for tests: every level
+// is sorted by (key asc, seq desc); every level-l chain is a subsequence of
+// the level-0 chain; counts are consistent. It returns the number of
+// level-0 nodes.
+func (l *List) CheckInvariants() (int, error) {
+	// Collect level-0 order and positions.
+	pos := make(map[vaddr.Addr]int)
+	var order []Node
+	for n := l.First(); !n.IsNil(); {
+		if _, dup := pos[n.addr]; dup {
+			return 0, fmt.Errorf("skiplist: cycle at %v", n.addr)
+		}
+		pos[n.addr] = len(order)
+		order = append(order, n)
+		next := n.nextAddr(0)
+		if next.IsNil() {
+			break
+		}
+		n = l.Node(next)
+	}
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if keys.Compare(a.Key(), a.Seq(), b.Key(), b.Seq()) >= 0 {
+			return 0, fmt.Errorf("skiplist: level 0 order violated at index %d", i)
+		}
+	}
+	for level := 1; level < MaxHeight; level++ {
+		last := -1
+		for a := l.headNode().nextAddr(level); !a.IsNil(); {
+			n := l.Node(a)
+			p, okPos := pos[a]
+			if !okPos {
+				return 0, fmt.Errorf("skiplist: level %d node %v not on level 0", level, a)
+			}
+			if p <= last {
+				return 0, fmt.Errorf("skiplist: level %d not a subsequence at %v", level, a)
+			}
+			if n.Height() <= level {
+				return 0, fmt.Errorf("skiplist: node %v height %d linked at level %d", a, n.Height(), level)
+			}
+			last = p
+			a = n.nextAddr(level)
+		}
+	}
+	return len(order), nil
+}

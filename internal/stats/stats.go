@@ -1,0 +1,159 @@
+// Package stats defines the cost accounting shared by every store in the
+// repository: the quantities the paper's Table 1 reports (interval stalls,
+// cumulative stalls, deserialization time, flushing time, write
+// amplification) plus general throughput counters.
+package stats
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recorder accumulates cost metrics. All methods are safe for concurrent
+// use; stores share one Recorder across their foreground and background
+// goroutines.
+type Recorder struct {
+	// Interval stalls: time the write path was fully blocked waiting for
+	// a flush or compaction (the client-visible stall, §3.1).
+	intervalStallNs atomic.Int64
+	intervalStalls  atomic.Int64
+	// Cumulative stalls: the sum of intentional short write delays
+	// injected to slow writers down (L0 slowdown throttling).
+	cumulativeStallNs atomic.Int64
+	// Serialization: CPU+copy time converting memtables to on-"disk"
+	// formats (SSTable builds, matrix rows).
+	serializeNs atomic.Int64
+	// Deserialization: time decoding on-"disk" formats on the read path.
+	deserializeNs atomic.Int64
+	// Flushing: wall time of memtable flushes, and flush volume.
+	flushNs    atomic.Int64
+	flushBytes atomic.Int64
+	flushes    atomic.Int64
+	// Compaction work time across all background threads.
+	compactionNs atomic.Int64
+	compactions  atomic.Int64
+	// User-written payload bytes (key+value), the denominator of WA.
+	userBytes atomic.Int64
+	// Operation counts.
+	puts, gets, deletes, scans atomic.Int64
+}
+
+// AddIntervalStall records a full write-path block of duration d.
+func (r *Recorder) AddIntervalStall(d time.Duration) {
+	r.intervalStallNs.Add(int64(d))
+	r.intervalStalls.Add(1)
+}
+
+// AddCumulativeStall records an intentional write slowdown of duration d.
+func (r *Recorder) AddCumulativeStall(d time.Duration) {
+	r.cumulativeStallNs.Add(int64(d))
+}
+
+// AddSerialize records serialization work time.
+func (r *Recorder) AddSerialize(d time.Duration) { r.serializeNs.Add(int64(d)) }
+
+// AddDeserialize records deserialization work time.
+func (r *Recorder) AddDeserialize(d time.Duration) { r.deserializeNs.Add(int64(d)) }
+
+// AddFlush records one memtable flush of the given duration and volume.
+func (r *Recorder) AddFlush(d time.Duration, bytes int64) {
+	r.flushNs.Add(int64(d))
+	r.flushBytes.Add(bytes)
+	r.flushes.Add(1)
+}
+
+// AddCompaction records one compaction work unit.
+func (r *Recorder) AddCompaction(d time.Duration) {
+	r.compactionNs.Add(int64(d))
+	r.compactions.Add(1)
+}
+
+// AddUserBytes accumulates user payload written (the WA denominator).
+func (r *Recorder) AddUserBytes(n int64) { r.userBytes.Add(n) }
+
+// AddUserBytesAndCount combines the user-byte charge with the put/delete
+// tally for write paths.
+func (r *Recorder) AddUserBytesAndCount(n int64, isDelete bool) {
+	r.userBytes.Add(n)
+	if isDelete {
+		r.deletes.Add(1)
+	} else {
+		r.puts.Add(1)
+	}
+}
+
+// CountPut tallies one write operation.
+func (r *Recorder) CountPut() { r.puts.Add(1) }
+
+// CountGet tallies one point lookup.
+func (r *Recorder) CountGet() { r.gets.Add(1) }
+
+// CountDelete tallies one delete.
+func (r *Recorder) CountDelete() { r.deletes.Add(1) }
+
+// CountScan tallies one range scan.
+func (r *Recorder) CountScan() { r.scans.Add(1) }
+
+// DeviceCounters mirrors a device's traffic in a snapshot.
+type DeviceCounters struct {
+	Name                    string
+	BytesRead, BytesWritten int64
+}
+
+// Snapshot is a point-in-time copy of every metric, in the units the
+// paper's tables use.
+type Snapshot struct {
+	IntervalStall    time.Duration
+	IntervalStalls   int64
+	CumulativeStall  time.Duration
+	SerializeTime    time.Duration
+	DeserializeTime  time.Duration
+	FlushTime        time.Duration
+	FlushBytes       int64
+	Flushes          int64
+	CompactionTime   time.Duration
+	Compactions      int64
+	UserBytesWritten int64
+	Puts, Gets       int64
+	Deletes, Scans   int64
+
+	// Devices lists per-device traffic; WriteAmplification is total
+	// persistent-device write traffic ÷ user bytes.
+	Devices            []DeviceCounters
+	WriteAmplification float64
+}
+
+// Snapshot captures the recorder. Device traffic and WA are attached by
+// the store, which knows its devices.
+func (r *Recorder) Snapshot() Snapshot {
+	return Snapshot{
+		IntervalStall:    time.Duration(r.intervalStallNs.Load()),
+		IntervalStalls:   r.intervalStalls.Load(),
+		CumulativeStall:  time.Duration(r.cumulativeStallNs.Load()),
+		SerializeTime:    time.Duration(r.serializeNs.Load()),
+		DeserializeTime:  time.Duration(r.deserializeNs.Load()),
+		FlushTime:        time.Duration(r.flushNs.Load()),
+		FlushBytes:       r.flushBytes.Load(),
+		Flushes:          r.flushes.Load(),
+		CompactionTime:   time.Duration(r.compactionNs.Load()),
+		Compactions:      r.compactions.Load(),
+		UserBytesWritten: r.userBytes.Load(),
+		Puts:             r.puts.Load(),
+		Gets:             r.gets.Load(),
+		Deletes:          r.deletes.Load(),
+		Scans:            r.scans.Load(),
+	}
+}
+
+// AttachDevices fills the snapshot's device traffic and computes write
+// amplification over the given persistent devices' write bytes.
+func (s *Snapshot) AttachDevices(devs ...DeviceCounters) {
+	s.Devices = append(s.Devices, devs...)
+	var written int64
+	for _, d := range devs {
+		written += d.BytesWritten
+	}
+	if s.UserBytesWritten > 0 {
+		s.WriteAmplification = float64(written) / float64(s.UserBytesWritten)
+	}
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSnapshot(t *testing.T) {
+	r := &Recorder{}
+	r.AddIntervalStall(100 * time.Millisecond)
+	r.AddIntervalStall(50 * time.Millisecond)
+	r.AddCumulativeStall(10 * time.Millisecond)
+	r.AddSerialize(time.Millisecond)
+	r.AddDeserialize(2 * time.Millisecond)
+	r.AddFlush(5*time.Millisecond, 1024)
+	r.AddCompaction(7 * time.Millisecond)
+	r.AddUserBytes(4096)
+	r.AddUserBytesAndCount(100, false)
+	r.AddUserBytesAndCount(50, true)
+	r.CountPut()
+	r.CountGet()
+	r.CountDelete()
+	r.CountScan()
+
+	s := r.Snapshot()
+	if s.IntervalStall != 150*time.Millisecond || s.IntervalStalls != 2 {
+		t.Errorf("interval stalls: %v ×%d", s.IntervalStall, s.IntervalStalls)
+	}
+	if s.CumulativeStall != 10*time.Millisecond {
+		t.Errorf("cumulative stall: %v", s.CumulativeStall)
+	}
+	if s.SerializeTime != time.Millisecond || s.DeserializeTime != 2*time.Millisecond {
+		t.Error("serialize/deserialize times wrong")
+	}
+	if s.FlushTime != 5*time.Millisecond || s.FlushBytes != 1024 || s.Flushes != 1 {
+		t.Error("flush accounting wrong")
+	}
+	if s.CompactionTime != 7*time.Millisecond || s.Compactions != 1 {
+		t.Error("compaction accounting wrong")
+	}
+	if s.UserBytesWritten != 4096+100+50 {
+		t.Errorf("user bytes = %d", s.UserBytesWritten)
+	}
+	if s.Puts != 2 || s.Gets != 1 || s.Deletes != 2 || s.Scans != 1 {
+		t.Errorf("op counts: %d/%d/%d/%d", s.Puts, s.Gets, s.Deletes, s.Scans)
+	}
+}
+
+func TestAttachDevicesComputesWA(t *testing.T) {
+	r := &Recorder{}
+	r.AddUserBytes(1000)
+	s := r.Snapshot()
+	s.AttachDevices(
+		DeviceCounters{Name: "nvm", BytesWritten: 2500},
+		DeviceCounters{Name: "ssd", BytesWritten: 500},
+	)
+	if s.WriteAmplification != 3.0 {
+		t.Errorf("WA = %.2f, want 3.0", s.WriteAmplification)
+	}
+	if len(s.Devices) != 2 {
+		t.Errorf("devices = %d", len(s.Devices))
+	}
+	// Zero user bytes → WA stays zero (no divide-by-zero).
+	var empty Snapshot
+	empty.AttachDevices(DeviceCounters{BytesWritten: 100})
+	if empty.WriteAmplification != 0 {
+		t.Error("WA computed with zero user bytes")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.CountPut()
+				r.AddUserBytes(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Puts != 4000 || s.UserBytesWritten != 4000 {
+		t.Errorf("concurrent counts: puts=%d bytes=%d", s.Puts, s.UserBytesWritten)
+	}
+}

@@ -1,0 +1,77 @@
+package vaddr
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"unsafe"
+)
+
+// This file is the only place in the repository that uses package unsafe.
+// It provides 8-byte atomic loads and stores on arena memory, the analogue
+// of the 8-byte atomic writes to persistent memory that the paper's
+// zero-copy compaction relies on ("we exploit atomic writes to update
+// pointers in a lock-free manner", §4.3). Chunks are allocated 8-byte
+// aligned (see alignedChunk), and Alloc rounds every reservation to 8
+// bytes, so any word-offset access is aligned.
+
+// alignedChunk allocates a chunk of the given size whose first byte is
+// 8-byte aligned. Go's allocator aligns large byte slices far more strictly
+// than this in practice; the trim below makes the guarantee unconditional.
+func alignedChunk(size int) []byte {
+	b := make([]byte, size+8)
+	off := int(uintptr(unsafe.Pointer(&b[0])) & 7)
+	if off != 0 {
+		off = 8 - off
+	}
+	return b[off : off+size : off+size]
+}
+
+// word returns a pointer to the aligned 8-byte word at addr.
+func (r *Region) word(addr Addr) *uint64 {
+	c, o := r.chunkFor(addr.Offset())
+	if o&7 != 0 {
+		panic("vaddr: unaligned atomic access at " + addr.String())
+	}
+	return (*uint64)(unsafe.Pointer(&c[o]))
+}
+
+// Load64 atomically loads the 8-byte word at addr.
+func (r *Region) Load64(addr Addr) uint64 {
+	return atomic.LoadUint64(r.word(addr))
+}
+
+// Store64 atomically stores v to the 8-byte word at addr, charging the
+// meter for an 8-byte write. These stores are the entire write traffic of a
+// zero-copy compaction.
+func (r *Region) Store64(addr Addr, v uint64) {
+	if r.meter != nil {
+		r.meter.OnWrite(8)
+	}
+	atomic.StoreUint64(r.word(addr), v)
+}
+
+// CompareAndSwap64 atomically compares-and-swaps the word at addr.
+func (r *Region) CompareAndSwap64(addr Addr, old, new uint64) bool {
+	if r.meter != nil {
+		r.meter.OnWrite(8)
+	}
+	return atomic.CompareAndSwapUint64(r.word(addr), old, new)
+}
+
+// LoadAddr atomically loads an Addr-typed word.
+func (r *Region) LoadAddr(addr Addr) Addr { return Addr(r.Load64(addr)) }
+
+// StoreAddr atomically stores an Addr-typed word.
+func (r *Region) StoreAddr(addr Addr, v Addr) { r.Store64(addr, uint64(v)) }
+
+// PutUint64 writes v non-atomically (little endian) without metering; used
+// while initializing freshly allocated, not-yet-published objects.
+func (r *Region) PutUint64(addr Addr, v uint64) {
+	binary.LittleEndian.PutUint64(r.Bytes(addr, 8), v)
+}
+
+// Uint64 reads a word non-atomically (little endian) without metering; safe
+// for fields that are immutable after publication.
+func (r *Region) Uint64(addr Addr) uint64 {
+	return binary.LittleEndian.Uint64(r.Bytes(addr, 8))
+}

@@ -1,0 +1,59 @@
+package vaddr
+
+// Clone creates a new region in the space with the same chunk size as src,
+// bulk-copies src's entire allocated extent into it chunk-by-chunk, and
+// returns the new region. Intra-region offsets are preserved exactly, so an
+// address a pointing into src maps to the identical offset in the clone:
+//
+//	clone.Base() + a.Offset()
+//
+// This is the machinery behind one-piece flushing (§4.2): the immutable
+// MemTable's arena is copied to NVM as one batched memcpy, after which a
+// background pass "swizzles" every stored pointer by rebasing its region
+// index — see pmtable.Swizzle.
+//
+// The destination meter is charged once for the full transfer, modeling a
+// single streaming write at device bandwidth.
+func (s *Space) Clone(src *Region, meter Meter) *Region {
+	dst := s.NewRegion(src.chunkSize, meter)
+
+	src.mu.Lock()
+	extent := src.allocOff
+	src.mu.Unlock()
+
+	dst.mu.Lock()
+	if err := dst.ensureLocked(extent); err != nil {
+		dst.mu.Unlock()
+		panic(err)
+	}
+	dst.allocOff = extent
+	dst.mu.Unlock()
+
+	if extent > 0 {
+		if meter != nil {
+			meter.OnWrite(int(extent))
+		}
+		srcChunks := *src.chunks.Load()
+		dstChunks := *dst.chunks.Load()
+		remaining := extent
+		for i := 0; remaining > 0; i++ {
+			n := int64(src.chunkSize)
+			if n > remaining {
+				n = remaining
+			}
+			copy(dstChunks[i][:n], srcChunks[i][:n])
+			remaining -= n
+		}
+	}
+	return dst
+}
+
+// Rebase translates an address from one region's space to another region
+// created by Clone: same offset, new region index. Nil stays nil and
+// addresses outside src are returned unchanged.
+func Rebase(a Addr, src, dst *Region) Addr {
+	if a.IsNil() || a.Region() != src.index {
+		return a
+	}
+	return dst.base.Add(a.Offset())
+}

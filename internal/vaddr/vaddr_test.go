@@ -1,0 +1,362 @@
+package vaddr
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrEncoding(t *testing.T) {
+	a := Addr(uint64(7)<<offsetBits | 0x1234)
+	if a.Region() != 7 {
+		t.Errorf("Region() = %d, want 7", a.Region())
+	}
+	if a.Offset() != 0x1234 {
+		t.Errorf("Offset() = %#x, want 0x1234", a.Offset())
+	}
+	if a.Add(8).Offset() != 0x123c {
+		t.Errorf("Add(8).Offset() = %#x", a.Add(8).Offset())
+	}
+	if !NilAddr.IsNil() || a.IsNil() {
+		t.Error("IsNil misbehaves")
+	}
+	if NilAddr.String() != "nil" {
+		t.Errorf("NilAddr.String() = %q", NilAddr.String())
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(region uint32, offset uint64) bool {
+		region &= 1<<24 - 1
+		offset &= offsetMask
+		a := Addr(uint64(region)<<offsetBits | offset)
+		return a.Region() == region && a.Offset() == int64(offset)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNilAddrNeverAllocated(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	a, err := r.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IsNil() {
+		t.Fatal("first allocation in region 0 returned the nil address")
+	}
+}
+
+func TestAllocAlignmentAndChunking(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	var prevEnd int64
+	for i, n := range []int{1, 7, 8, 9, 100, 4096, 4000, 200} {
+		a, err := r.Alloc(n)
+		if err != nil {
+			t.Fatalf("Alloc(%d): %v", n, err)
+		}
+		if a.Offset()%8 != 0 {
+			t.Errorf("alloc %d: offset %#x not 8-aligned", i, a.Offset())
+		}
+		padded := int64((n + 7) &^ 7)
+		start, end := a.Offset(), a.Offset()+padded-1
+		if start/4096 != end/4096 {
+			t.Errorf("alloc %d of %d bytes straddles chunk: [%#x,%#x]", i, n, start, end)
+		}
+		if start < prevEnd {
+			t.Errorf("alloc %d overlaps previous", i)
+		}
+		prevEnd = end + 1
+		// The full reservation must be addressable.
+		b := r.Bytes(a, n)
+		if len(b) != n {
+			t.Errorf("Bytes len = %d, want %d", len(b), n)
+		}
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	if _, err := r.Alloc(4097); err == nil {
+		t.Error("Alloc larger than chunk should fail")
+	}
+	if _, err := r.Alloc(0); err == nil {
+		t.Error("Alloc(0) should fail")
+	}
+	if _, err := r.Alloc(-5); err == nil {
+		t.Error("Alloc(-5) should fail")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	a, _ := r.Alloc(64)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	r.Write(a, data)
+	got := r.Read(a, len(data))
+	if !bytes.Equal(got, data) {
+		t.Errorf("Read = %q, want %q", got, data)
+	}
+}
+
+func TestAtomicWordOps(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	a, _ := r.Alloc(8)
+	r.Store64(a, 0xdeadbeefcafebabe)
+	if v := r.Load64(a); v != 0xdeadbeefcafebabe {
+		t.Errorf("Load64 = %#x", v)
+	}
+	if !r.CompareAndSwap64(a, 0xdeadbeefcafebabe, 42) {
+		t.Error("CAS failed")
+	}
+	if v := r.Load64(a); v != 42 {
+		t.Errorf("after CAS, Load64 = %d", v)
+	}
+	if r.CompareAndSwap64(a, 0, 1) {
+		t.Error("CAS with wrong old succeeded")
+	}
+}
+
+func TestPutGetUint64(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	a, _ := r.Alloc(8)
+	r.PutUint64(a, 123456789)
+	if v := r.Uint64(a); v != 123456789 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	// PutUint64 and Store64 must agree on byte layout (little endian).
+	r.Store64(a, 0x0102030405060708)
+	if v := r.Uint64(a); v != 0x0102030405060708 {
+		t.Errorf("mixed atomic/plain word = %#x", v)
+	}
+}
+
+func TestRegionGrowthConcurrentReads(t *testing.T) {
+	s := NewSpace()
+	r := s.NewRegion(4096, nil)
+	a, _ := r.Alloc(8)
+	r.Store64(a, 7)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if v := r.Load64(a); v != 7 {
+					t.Errorf("Load64 = %d during growth", v)
+					return
+				}
+			}
+		}()
+	}
+	// Force many chunk growths while readers run.
+	for i := 0; i < 1000; i++ {
+		if _, err := r.Alloc(4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestCloneAndRebase(t *testing.T) {
+	s := NewSpace()
+	src := s.NewRegion(4096, nil)
+	// Fill several chunks with a recognizable pattern and self-pointers.
+	addrs := make([]Addr, 50)
+	for i := range addrs {
+		a, err := src.Alloc(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = a
+		src.PutUint64(a, uint64(i))
+		if i > 0 {
+			src.PutUint64(a.Add(8), uint64(addrs[i-1])) // pointer to previous
+		}
+	}
+	dst := s.Clone(src, nil)
+	if dst.Size() != src.Size() {
+		t.Fatalf("clone size %d != src size %d", dst.Size(), src.Size())
+	}
+	for i, a := range addrs {
+		ra := Rebase(a, src, dst)
+		if ra.Region() != dst.Index() || ra.Offset() != a.Offset() {
+			t.Fatalf("Rebase mangles address: %v -> %v", a, ra)
+		}
+		if v := dst.Uint64(ra); v != uint64(i) {
+			t.Errorf("clone[%d] = %d, want %d", i, v, i)
+		}
+		if i > 0 {
+			ptr := Addr(dst.Uint64(ra.Add(8)))
+			if ptr != addrs[i-1] {
+				t.Errorf("clone kept pre-rebase pointer mangled: %v", ptr)
+			}
+			if reb := Rebase(ptr, src, dst); reb.Offset() != addrs[i-1].Offset() {
+				t.Errorf("rebased pointer wrong offset")
+			}
+		}
+	}
+	// Rebase leaves nil and foreign addresses alone.
+	if Rebase(NilAddr, src, dst) != NilAddr {
+		t.Error("Rebase(nil) != nil")
+	}
+	other := s.NewRegion(4096, nil)
+	oa, _ := other.Alloc(8)
+	if Rebase(oa, src, dst) != oa {
+		t.Error("Rebase of foreign address changed it")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := NewSpace()
+	r1 := s.NewRegion(4096, nil)
+	r2 := s.NewRegion(4096, nil)
+	a, _ := r2.Alloc(16)
+	r2.Write(a, []byte("hello"))
+
+	s.Release(r1)
+	if s.Region(r1.Index()) != nil {
+		t.Error("released region still resolvable")
+	}
+	if !r1.Released() {
+		t.Error("Released() false after release")
+	}
+	// Other regions unaffected.
+	if got := string(r2.Read(a, 5)); got != "hello" {
+		t.Errorf("r2 data corrupted after releasing r1: %q", got)
+	}
+	// Alloc in a released region fails.
+	if _, err := r1.Alloc(8); err == nil {
+		t.Error("Alloc in released region succeeded")
+	}
+	// Double release is a no-op.
+	s.Release(r1)
+	// Regions() elides the released slot.
+	for _, r := range s.Regions() {
+		if r == r1 {
+			t.Error("Regions() includes released region")
+		}
+	}
+}
+
+type countingMeter struct {
+	reads, writes, readBytes, writeBytes int
+}
+
+func (m *countingMeter) OnRead(n int)  { m.reads++; m.readBytes += n }
+func (m *countingMeter) OnWrite(n int) { m.writes++; m.writeBytes += n }
+
+func TestMeterCharges(t *testing.T) {
+	s := NewSpace()
+	m := &countingMeter{}
+	r := s.NewRegion(4096, m)
+	a, _ := r.Alloc(64)
+
+	r.Write(a, make([]byte, 10))
+	if m.writeBytes != 10 {
+		t.Errorf("writeBytes = %d, want 10", m.writeBytes)
+	}
+	r.Read(a, 10)
+	if m.readBytes != 10 {
+		t.Errorf("readBytes = %d, want 10", m.readBytes)
+	}
+	r.Store64(a, 1)
+	if m.writeBytes != 18 {
+		t.Errorf("writeBytes after Store64 = %d, want 18", m.writeBytes)
+	}
+	r.ChargeRead(100)
+	r.ChargeWrite(200)
+	if m.readBytes != 110 || m.writeBytes != 218 {
+		t.Errorf("charge helpers: read=%d write=%d", m.readBytes, m.writeBytes)
+	}
+	// Bytes() and Load64 are unmetered by design: no further charges.
+	before := m.readBytes
+	r.Bytes(a, 8)
+	r.Load64(a)
+	if m.readBytes != before {
+		t.Errorf("Bytes/Load64 charged the meter: %d -> %d", before, m.readBytes)
+	}
+}
+
+func TestCopyFromCrossChunks(t *testing.T) {
+	s := NewSpace()
+	src := s.NewRegion(4096, nil)
+	dst := s.NewRegion(4096, nil)
+	// Build a multi-chunk source payload.
+	var srcAddrs []Addr
+	payload := make([]byte, 0, 3*4096)
+	for i := 0; i < 3; i++ {
+		a, _ := src.Alloc(4096)
+		chunk := bytes.Repeat([]byte{byte('a' + i)}, 4096)
+		src.Write(a, chunk)
+		srcAddrs = append(srcAddrs, a)
+		payload = append(payload, chunk...)
+	}
+	// Destination spanning the same extent.
+	var dstAddrs []Addr
+	for i := 0; i < 3; i++ {
+		a, _ := dst.Alloc(4096)
+		dstAddrs = append(dstAddrs, a)
+	}
+	dst.CopyFrom(dstAddrs[0], src, srcAddrs[0], 3*4096)
+	got := make([]byte, 0, 3*4096)
+	for _, a := range dstAddrs {
+		got = append(got, dst.Bytes(a, 4096)...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("CopyFrom corrupted multi-chunk payload")
+	}
+}
+
+func TestRestoreSparseRegions(t *testing.T) {
+	s := NewSpace()
+	// Restore regions at sparse indices, as the checkpoint loader does
+	// when volatile regions are absent from the image.
+	r5, err := s.Restore(5, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r5.RestoreExtent(10000); err != nil {
+		t.Fatal(err)
+	}
+	if r5.Size() != 10000 {
+		t.Errorf("Size = %d", r5.Size())
+	}
+	// Gaps resolve to nil.
+	for i := uint32(0); i < 5; i++ {
+		if s.Region(i) != nil {
+			t.Errorf("gap region %d not nil", i)
+		}
+	}
+	// Occupied slots are rejected.
+	if _, err := s.Restore(5, 4096, nil); err == nil {
+		t.Error("restore into occupied slot accepted")
+	}
+	// NewRegion continues past restored indices without collision.
+	fresh := s.NewRegion(4096, nil)
+	if fresh.Index() <= 5 {
+		t.Errorf("fresh region index %d collides with restored range", fresh.Index())
+	}
+	// Data written into the restored extent is addressable.
+	addr := r5.Base().Add(8192)
+	r5.Write(addr, []byte("restored"))
+	if got := string(r5.Read(addr, 8)); got != "restored" {
+		t.Errorf("restored region data = %q", got)
+	}
+}

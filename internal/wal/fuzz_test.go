@@ -1,0 +1,57 @@
+package wal
+
+import (
+	"testing"
+
+	"miodb/internal/keys"
+	"miodb/internal/nvm"
+	"miodb/internal/vaddr"
+)
+
+// FuzzReplay feeds arbitrary bytes to the WAL replay cursor: it must
+// never panic, and must never yield a record that was not appended by a
+// well-formed writer (the CRC gate). Run with `go test -fuzz=FuzzReplay`;
+// the seed corpus runs as a normal test.
+func FuzzReplay(f *testing.F) {
+	// Seeds: empty, garbage, and a valid log's raw bytes.
+	f.Add([]byte{})
+	f.Add([]byte("not a log at all, definitely"))
+	{
+		dev := nvm.NewDevice(vaddr.NewSpace(), nvm.NVMProfile())
+		l := New(dev, 1<<14)
+		l.Append([]byte("key"), []byte("value"), 7, keys.KindSet)
+		l.Append([]byte("key2"), nil, 8, keys.KindDelete)
+		raw := l.Region().Read(l.Region().Base(), int(l.Region().Size()))
+		f.Add(append([]byte(nil), raw...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dev := nvm.NewDevice(vaddr.NewSpace(), nvm.NVMProfile())
+		region := dev.NewRegion(1 << 14)
+		if len(data) > 0 {
+			// Copy the fuzz input into the arena in chunk-safe pieces.
+			for off := 0; off < len(data); {
+				n := len(data) - off
+				if n > 1<<14 {
+					n = 1 << 14
+				}
+				addr, err := region.Alloc(n)
+				if err != nil {
+					t.Skip()
+				}
+				region.Write(addr, data[off:off+n])
+				off += n
+			}
+		}
+		l := Attach(dev, region)
+		count := 0
+		_ = l.Replay(func(key, value []byte, seq uint64, kind keys.Kind) error {
+			count++
+			if len(key) == 0 && kind == keys.KindSet && seq == 0 {
+				// Implausible but not invalid; just exercise access.
+				_ = value
+			}
+			return nil
+		})
+		_ = count
+	})
+}

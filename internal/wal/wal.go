@@ -1,0 +1,162 @@
+// Package wal implements the write-ahead log MioDB keeps in NVM (§4.7):
+// every KV update is appended to a persistent log before it is inserted
+// into the DRAM MemTable, so the volatile buffer can always be rebuilt
+// after a crash. One log instance covers one MemTable; when the memtable's
+// one-piece flush completes, the log's arena is released in one shot.
+//
+// Record framing inside the NVM arena:
+//
+//	[ crc32(IEEE) uint32 | payloadLen uint32 ]  — 8-byte header
+//	[ seq uint64 | kind uint8 | keyLen uint32 | key... | value... ]
+//
+// Records are bump-allocated; a record that would straddle a chunk boundary
+// is placed at the next chunk start (the allocator's rule), and the replay
+// cursor reproduces that rule. Fresh chunks are zero-filled, so a zero
+// header terminates replay; the CRC catches partial records.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"miodb/internal/keys"
+	"miodb/internal/nvm"
+	"miodb/internal/vaddr"
+)
+
+const headerSize = 8
+
+// Log is a write-ahead log in one NVM arena. Appends must be externally
+// serialized (the store's write path already is).
+type Log struct {
+	dev    *nvm.Device
+	region *vaddr.Region
+	count  int64
+	bytes  int64
+	buf    []byte // reused encode buffer
+}
+
+// New creates a log on the device. chunkSize bounds the largest record
+// (key+value+17 bytes of framing).
+func New(dev *nvm.Device, chunkSize int) *Log {
+	return &Log{dev: dev, region: dev.NewRegion(chunkSize)}
+}
+
+// Attach reopens an existing log arena for replay after a crash.
+func Attach(dev *nvm.Device, region *vaddr.Region) *Log {
+	return &Log{dev: dev, region: region}
+}
+
+// Region returns the backing arena (persisted in the superblock so
+// recovery can find it).
+func (l *Log) Region() *vaddr.Region { return l.region }
+
+// Count returns the number of records appended or replayed.
+func (l *Log) Count() int64 { return l.count }
+
+// Bytes returns the log's total appended bytes including framing.
+func (l *Log) Bytes() int64 { return l.bytes }
+
+// Append durably logs one update. The write is charged to the NVM device
+// as a single sequential append — the cheap, sequential half of the
+// paper's "insertion of KV pairs that often incurs random memory accesses
+// can be performed in the fast DRAM".
+func (l *Log) Append(key, value []byte, seq uint64, kind keys.Kind) error {
+	payload := 8 + 1 + 4 + len(key) + len(value)
+	total := headerSize + payload
+	if total > l.region.ChunkSize() {
+		return fmt.Errorf("wal: record of %d bytes exceeds max %d", total, l.region.ChunkSize())
+	}
+	if cap(l.buf) < total {
+		l.buf = make([]byte, total)
+	}
+	b := l.buf[:total]
+	binary.LittleEndian.PutUint32(b[4:8], uint32(payload))
+	binary.LittleEndian.PutUint64(b[8:16], seq)
+	b[16] = byte(kind)
+	binary.LittleEndian.PutUint32(b[17:21], uint32(len(key)))
+	copy(b[21:], key)
+	copy(b[21+len(key):], value)
+	binary.LittleEndian.PutUint32(b[0:4], crc32.ChecksumIEEE(b[8:]))
+
+	addr, err := l.region.Alloc(total)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.region.Write(addr, b)
+	l.count++
+	l.bytes += int64(total)
+	return nil
+}
+
+// Replay invokes fn for every intact record in order. It stops at the
+// first zero header (end of log) or CRC mismatch (torn tail write), which
+// is the standard recovery contract: a torn final record is discarded.
+func (l *Log) Replay(fn func(key, value []byte, seq uint64, kind keys.Kind) error) error {
+	chunk := int64(l.region.ChunkSize())
+	off := int64(0)
+	if l.region.Index() == 0 {
+		off = 8 // region 0 reserves the nil-address word
+	}
+	size := l.region.Size()
+	for {
+		if off+headerSize > size {
+			return nil
+		}
+		// Reproduce the allocator's straddle rule: a header crossing a
+		// chunk boundary means the record was placed at the next chunk.
+		if off/chunk != (off+headerSize-1)/chunk {
+			off = (off + chunk - 1) / chunk * chunk
+			continue
+		}
+		hdr := l.region.Read(l.region.Base().Add(off), headerSize)
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		payloadLen := int64(binary.LittleEndian.Uint32(hdr[4:8]))
+		if crc == 0 && payloadLen == 0 {
+			// Zero header: either end of log, or straddle padding —
+			// retry once from the next chunk boundary.
+			next := (off/chunk + 1) * chunk
+			if next == off {
+				return nil
+			}
+			if next+headerSize > size {
+				return nil
+			}
+			nh := l.region.Read(l.region.Base().Add(next), headerSize)
+			if binary.LittleEndian.Uint32(nh[0:4]) == 0 && binary.LittleEndian.Uint32(nh[4:8]) == 0 {
+				return nil
+			}
+			off = next
+			continue
+		}
+		total := headerSize + payloadLen
+		if payloadLen < 13 || off/chunk != (off+total-1)/chunk || off+total > size {
+			return nil // malformed tail
+		}
+		payload := l.region.Read(l.region.Base().Add(off+headerSize), int(payloadLen))
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // torn write at the tail
+		}
+		seq := binary.LittleEndian.Uint64(payload[0:8])
+		kind := keys.Kind(payload[8])
+		keyLen := int64(binary.LittleEndian.Uint32(payload[9:13]))
+		if 13+keyLen > payloadLen {
+			return nil
+		}
+		key := payload[13 : 13+keyLen]
+		value := payload[13+keyLen:]
+		if err := fn(key, value, seq, kind); err != nil {
+			return err
+		}
+		l.count++
+		l.bytes += total
+		off += (total + 7) &^ 7
+	}
+}
+
+// Release frees the log's arena after its MemTable has been durably
+// flushed to a PMTable.
+func (l *Log) Release() {
+	l.dev.Release(l.region)
+}

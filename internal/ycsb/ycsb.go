@@ -1,0 +1,242 @@
+// Package ycsb implements the Yahoo! Cloud Serving Benchmark workload
+// model (Cooper et al., SoCC'10) used in the paper's §5.2: key choosers
+// (zipfian, latest, uniform), the standard workload mixes A–F, and the
+// load phase. The zipfian generator is the Gray et al. "quickly generating
+// billion-record synthetic databases" algorithm, as in the official YCSB.
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws integers in [0, n) with a zipfian distribution; item 0 is
+// the most popular. The paper runs YCSB with 0.99 skew.
+type Zipfian struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan, zeta2 float64
+	eta          float64
+	rnd          *rand.Rand
+}
+
+// NewZipfian creates a generator over [0, n) with the given skew theta
+// (YCSB default 0.99).
+func NewZipfian(n uint64, theta float64, seed int64) *Zipfian {
+	z := &Zipfian{
+		n:     n,
+		theta: theta,
+		rnd:   rand.New(rand.NewSource(seed)),
+	}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact summation is O(n); for large n use the standard approximation
+	// by integrating 1/x^theta (adequate for workload generation).
+	if n <= 1<<16 {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	base := zeta(1<<16, theta)
+	// ∫ x^-θ dx from 2^16 to n
+	return base + (math.Pow(float64(n), 1-theta)-math.Pow(float64(uint64(1)<<16), 1-theta))/(1-theta)
+}
+
+// Next draws the next item.
+func (z *Zipfian) Next() uint64 {
+	u := z.rnd.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Chooser selects keys for operations.
+type Chooser interface {
+	// Choose returns a key index given the number of loaded records.
+	Choose(recordCount uint64) uint64
+}
+
+// ZipfianChooser wraps Zipfian with the YCSB hash-scramble so hot keys
+// spread over the keyspace.
+type ZipfianChooser struct{ z *Zipfian }
+
+// NewZipfianChooser builds the paper's default chooser (0.99 skew).
+func NewZipfianChooser(n uint64, seed int64) *ZipfianChooser {
+	return &ZipfianChooser{z: NewZipfian(n, 0.99, seed)}
+}
+
+// Choose implements Chooser.
+func (c *ZipfianChooser) Choose(recordCount uint64) uint64 {
+	v := c.z.Next()
+	return fnvHash64(v) % recordCount
+}
+
+// LatestChooser skews toward recently inserted records (workload D).
+type LatestChooser struct{ z *Zipfian }
+
+// NewLatestChooser builds a latest-distribution chooser.
+func NewLatestChooser(n uint64, seed int64) *LatestChooser {
+	return &LatestChooser{z: NewZipfian(n, 0.99, seed)}
+}
+
+// Choose implements Chooser: offsets from the newest record.
+func (c *LatestChooser) Choose(recordCount uint64) uint64 {
+	off := c.z.Next() % recordCount
+	return recordCount - 1 - off
+}
+
+// UniformChooser draws uniformly.
+type UniformChooser struct{ rnd *rand.Rand }
+
+// NewUniformChooser builds a uniform chooser.
+func NewUniformChooser(seed int64) *UniformChooser {
+	return &UniformChooser{rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements Chooser.
+func (c *UniformChooser) Choose(recordCount uint64) uint64 {
+	return uint64(c.rnd.Int63()) % recordCount
+}
+
+func fnvHash64(v uint64) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// OpKind is one YCSB operation type.
+type OpKind int
+
+// Operation kinds drawn by the workload mixes.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// Workload is a YCSB operation mix over a chooser.
+type Workload struct {
+	// Name is the YCSB letter (A–F) or "load".
+	Name string
+	// ReadProp..RMWProp are the operation proportions (sum to 1).
+	ReadProp, UpdateProp, InsertProp, ScanProp, RMWProp float64
+	// Chooser picks keys (zipfian unless stated).
+	Chooser Chooser
+	// MaxScanLen bounds scan lengths (YCSB default 100).
+	MaxScanLen int
+}
+
+// StandardWorkload returns workload A–F as the paper describes them:
+// A 50/50 read/update; B 95/5; C read-only; D 95/5 read/insert with the
+// latest distribution; E 95/5 scan/insert; F 50/50 read/RMW. All zipfian
+// (99% skewness) except D.
+func StandardWorkload(letter string, keyspace uint64, seed int64) (*Workload, error) {
+	w := &Workload{Name: letter, MaxScanLen: 100}
+	switch letter {
+	case "A", "a":
+		w.ReadProp, w.UpdateProp = 0.5, 0.5
+	case "B", "b":
+		w.ReadProp, w.UpdateProp = 0.95, 0.05
+	case "C", "c":
+		w.ReadProp = 1.0
+	case "D", "d":
+		w.ReadProp, w.InsertProp = 0.95, 0.05
+		w.Chooser = NewLatestChooser(keyspace, seed)
+	case "E", "e":
+		w.ScanProp, w.InsertProp = 0.95, 0.05
+	case "F", "f":
+		w.ReadProp, w.RMWProp = 0.5, 0.5
+	default:
+		return nil, fmt.Errorf("ycsb: unknown workload %q", letter)
+	}
+	if w.Chooser == nil {
+		w.Chooser = NewZipfianChooser(keyspace, seed)
+	}
+	return w, nil
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind    OpKind
+	KeyIdx  uint64
+	ScanLen int
+}
+
+// Generator draws operations from a workload.
+type Generator struct {
+	w           *Workload
+	rnd         *rand.Rand
+	recordCount uint64
+}
+
+// NewGenerator builds a generator; recordCount is the loaded record count
+// (inserts grow it).
+func NewGenerator(w *Workload, recordCount uint64, seed int64) *Generator {
+	return &Generator{w: w, rnd: rand.New(rand.NewSource(seed)), recordCount: recordCount}
+}
+
+// RecordCount returns the current record count including inserts.
+func (g *Generator) RecordCount() uint64 { return g.recordCount }
+
+// Next draws the next operation.
+func (g *Generator) Next() Op {
+	p := g.rnd.Float64()
+	w := g.w
+	switch {
+	case p < w.ReadProp:
+		return Op{Kind: OpRead, KeyIdx: g.w.Chooser.Choose(g.recordCount)}
+	case p < w.ReadProp+w.UpdateProp:
+		return Op{Kind: OpUpdate, KeyIdx: g.w.Chooser.Choose(g.recordCount)}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp:
+		idx := g.recordCount
+		g.recordCount++
+		return Op{Kind: OpInsert, KeyIdx: idx}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp:
+		return Op{
+			Kind:    OpScan,
+			KeyIdx:  g.w.Chooser.Choose(g.recordCount),
+			ScanLen: 1 + g.rnd.Intn(w.MaxScanLen),
+		}
+	default:
+		return Op{Kind: OpReadModifyWrite, KeyIdx: g.w.Chooser.Choose(g.recordCount)}
+	}
+}
+
+// Key renders a record index as a YCSB-style key ("user" + zero-padded
+// hash-ordered index).
+func Key(idx uint64) []byte {
+	return []byte(fmt.Sprintf("user%016d", idx))
+}
+
+// Value builds a deterministic value of the given size for a record; a
+// generation counter makes successive updates distinguishable.
+func Value(idx uint64, gen int, size int) []byte {
+	v := make([]byte, size)
+	pattern := fmt.Sprintf("v-%d-%d-", idx, gen)
+	for i := 0; i < size; {
+		i += copy(v[i:], pattern)
+	}
+	return v
+}

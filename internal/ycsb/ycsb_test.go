@@ -1,0 +1,143 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(1000, 0.99, 1)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("Next() = %d out of range", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	const n = 10000
+	z := NewZipfian(n, 0.99, 2)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 must dominate; the head (top 1%) should hold a large share.
+	if counts[0] < counts[n/2]*10 {
+		t.Errorf("item 0 drawn %d times, item %d drawn %d — not skewed", counts[0], n/2, counts[n/2])
+	}
+	head := 0
+	for i := 0; i < n/100; i++ {
+		head += counts[i]
+	}
+	if share := float64(head) / draws; share < 0.4 {
+		t.Errorf("top 1%% of items got %.1f%% of draws, expected zipfian concentration", share*100)
+	}
+}
+
+func TestChoosersInRange(t *testing.T) {
+	const records = 5000
+	choosers := []Chooser{
+		NewZipfianChooser(records, 1),
+		NewLatestChooser(records, 2),
+		NewUniformChooser(3),
+	}
+	for ci, c := range choosers {
+		for i := 0; i < 50000; i++ {
+			if v := c.Choose(records); v >= records {
+				t.Fatalf("chooser %d returned %d out of range", ci, v)
+			}
+		}
+	}
+}
+
+func TestLatestSkewsToNewest(t *testing.T) {
+	const records = 10000
+	c := NewLatestChooser(records, 4)
+	newest := 0
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		if c.Choose(records) >= records-records/100 {
+			newest++
+		}
+	}
+	if share := float64(newest) / draws; share < 0.4 {
+		t.Errorf("latest distribution gave newest 1%% only %.1f%% of draws", share*100)
+	}
+}
+
+func TestStandardWorkloadMixes(t *testing.T) {
+	cases := map[string]struct {
+		read, update, insert, scan, rmw float64
+	}{
+		"A": {read: 0.5, update: 0.5},
+		"B": {read: 0.95, update: 0.05},
+		"C": {read: 1.0},
+		"D": {read: 0.95, insert: 0.05},
+		"E": {scan: 0.95, insert: 0.05},
+		"F": {read: 0.5, rmw: 0.5},
+	}
+	for letter, want := range cases {
+		w, err := StandardWorkload(letter, 10000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGenerator(w, 10000, 7)
+		counts := map[OpKind]int{}
+		const draws = 100000
+		for i := 0; i < draws; i++ {
+			op := g.Next()
+			counts[op.Kind]++
+			if op.Kind == OpScan && (op.ScanLen < 1 || op.ScanLen > 100) {
+				t.Fatalf("%s: scan length %d", letter, op.ScanLen)
+			}
+		}
+		check := func(kind OpKind, want float64, name string) {
+			got := float64(counts[kind]) / draws
+			if math.Abs(got-want) > 0.01 {
+				t.Errorf("%s: %s proportion %.3f, want %.2f", letter, name, got, want)
+			}
+		}
+		check(OpRead, want.read, "read")
+		check(OpUpdate, want.update, "update")
+		check(OpInsert, want.insert, "insert")
+		check(OpScan, want.scan, "scan")
+		check(OpReadModifyWrite, want.rmw, "rmw")
+	}
+	if _, err := StandardWorkload("Z", 10, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestInsertsGrowKeyspace(t *testing.T) {
+	w, _ := StandardWorkload("D", 1000, 1)
+	g := NewGenerator(w, 1000, 9)
+	start := g.RecordCount()
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		if g.Next().Kind == OpInsert {
+			inserts++
+		}
+	}
+	if g.RecordCount() != start+uint64(inserts) {
+		t.Errorf("record count %d, want %d", g.RecordCount(), start+uint64(inserts))
+	}
+}
+
+func TestKeyValueHelpers(t *testing.T) {
+	k := Key(42)
+	if string(k) != "user0000000000000042" {
+		t.Errorf("Key(42) = %s", k)
+	}
+	v := Value(42, 3, 100)
+	if len(v) != 100 {
+		t.Errorf("Value length %d", len(v))
+	}
+	if string(Value(42, 3, 100)) != string(v) {
+		t.Error("Value not deterministic")
+	}
+	if string(Value(42, 4, 100)) == string(v) {
+		t.Error("Value ignores generation")
+	}
+}

@@ -1,0 +1,159 @@
+// Package miodb is a key-value store for hybrid DRAM/NVM memory systems,
+// reproducing MioDB from "Revisiting Log-Structured Merging for KV Stores
+// in Hybrid Memory Systems" (ASPLOS 2023).
+//
+// MioDB replaces the on-disk SSTables of an LSM-tree with byte-addressable
+// persistent skip lists (PMTables) and rebuilds log-structured merging
+// around what fast NVM makes possible:
+//
+//   - One-piece flushing: a full DRAM MemTable is persisted with a single
+//     bulk copy plus background pointer swizzling.
+//   - An elastic, unbounded multi-level NVM buffer whose levels compact by
+//     zero-copy merging — pointer updates only, no data movement.
+//   - Parallel per-level compaction threads, so flushing never stalls.
+//   - Lazy-copy compaction into a huge bottom-level repository skip list,
+//     bounding write amplification near 3× (WAL + flush + lazy copy).
+//   - Mergeable bloom filters and deep levels for read performance.
+//
+// Because no NVM hardware is assumed, the store runs on a simulated
+// byte-addressable NVM device with calibrated latency/bandwidth ratios and
+// full traffic accounting; see DESIGN.md for the substitution argument.
+//
+// Quick start:
+//
+//	db, err := miodb.Open(nil)
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+package miodb
+
+import (
+	"miodb/internal/core"
+	"miodb/internal/stats"
+)
+
+// ErrNotFound is returned by Get when a key has no live value.
+var ErrNotFound = core.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = core.ErrClosed
+
+// Options configures a store. The zero value (or nil) uses the paper's
+// configuration scaled for a single machine: 64 KB MemTables, 8
+// elastic-buffer levels, 16 bloom bits per key, WAL on.
+type Options struct {
+	// MemTableSize is the DRAM write buffer capacity in bytes.
+	MemTableSize int64
+	// Levels is the number of elastic-buffer levels (compaction threads).
+	Levels int
+	// BloomBitsPerKey sizes the per-PMTable bloom filters.
+	BloomBitsPerKey int
+	// DisableWAL turns off write-ahead logging (data in the DRAM buffer
+	// is then lost on crash).
+	DisableWAL bool
+	// UseSSD enables the DRAM-NVM-SSD hierarchy: the bottom repository
+	// becomes leveled SSTables on a simulated SSD.
+	UseSSD bool
+	// Simulate enables device latency injection so measured performance
+	// reflects the modeled hardware; leave false for functional use.
+	Simulate bool
+	// TimeScale scales injected latencies (1.0 = full model).
+	TimeScale float64
+}
+
+// Stats is the store's cost accounting snapshot: operation counts, stall
+// time, flush/compaction time, device traffic, and write amplification.
+type Stats = stats.Snapshot
+
+// DB is a MioDB store.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates a store. opts may be nil for defaults.
+func Open(opts *Options) (*DB, error) {
+	var co core.Options
+	if opts != nil {
+		co.MemTableSize = opts.MemTableSize
+		co.Levels = opts.Levels
+		co.BloomBitsPerKey = opts.BloomBitsPerKey
+		co.DisableWAL = opts.DisableWAL
+		co.Simulate = opts.Simulate
+		co.TimeScale = opts.TimeScale
+		if opts.UseSSD {
+			co.SSD = &core.SSDOptions{}
+		}
+	}
+	inner, err := core.Open(co)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Put stores a key-value pair. The value is durable (in the simulated
+// NVM's write-ahead log) when Put returns.
+func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+
+// Get returns the newest value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// Batch collects writes for atomic application via Write.
+type Batch = core.Batch
+
+// Write applies every operation in the batch atomically: consecutive
+// sequence numbers, logged together, all-or-nothing across a crash.
+func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
+
+// Scan calls fn for up to limit live keys ≥ start, in order; fn returning
+// false stops the scan. limit ≤ 0 scans to the end. The key and value
+// slices passed to fn alias store memory and are only valid for the
+// duration of the callback; copy them to retain.
+func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
+	return db.inner.Scan(start, limit, fn)
+}
+
+// NewIterator returns an ordered iterator over live keys. Callers must
+// Close it to release its snapshot.
+func (db *DB) NewIterator() *core.Iterator { return db.inner.NewIterator() }
+
+// Flush forces the DRAM buffer out and waits for all background
+// compaction to drain.
+func (db *DB) Flush() error { return db.inner.FlushAll() }
+
+// Checkpoint writes the store's persistent state to a file (atomically).
+// On real NVM hardware the memory itself is the durable medium; under
+// simulation, checkpoint images provide process-level durability:
+// OpenImage restores a store from one through the crash-recovery path.
+func (db *DB) Checkpoint(path string) error { return db.inner.Checkpoint(path) }
+
+// OpenImage restores a store from a checkpoint file written by
+// Checkpoint. opts must carry the same structural settings (Levels) the
+// checkpointed store used; nil means defaults.
+func OpenImage(path string, opts *Options) (*DB, error) {
+	var co core.Options
+	if opts != nil {
+		co.MemTableSize = opts.MemTableSize
+		co.Levels = opts.Levels
+		co.BloomBitsPerKey = opts.BloomBitsPerKey
+		co.DisableWAL = opts.DisableWAL
+		co.Simulate = opts.Simulate
+		co.TimeScale = opts.TimeScale
+	}
+	inner, err := core.OpenImage(path, co)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Stats returns the store's cost accounting.
+func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+// Close drains background work and shuts the store down. Callers must
+// stop issuing operations first.
+func (db *DB) Close() error { return db.inner.Close() }

@@ -1,0 +1,117 @@
+package miodb
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"miodb/internal/kvstore"
+)
+
+// The public handle satisfies the repository-wide store contract, so it
+// is drop-in usable anywhere the harness or server accepts a store.
+var _ kvstore.Store = (*DB)(nil)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db, err := Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("user:%04d", i)), []byte(fmt.Sprintf("profile-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := db.Get([]byte("user:0042"))
+	if err != nil || string(v) != "profile-42" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := db.Delete([]byte("user:0042")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("user:0042")); err != ErrNotFound {
+		t.Fatalf("deleted key err = %v", err)
+	}
+
+	n := 0
+	err = db.Scan([]byte("user:0100"), 50, func(k, v []byte) bool {
+		if !bytes.HasPrefix(k, []byte("user:")) {
+			t.Errorf("unexpected key %q", k)
+		}
+		n++
+		return true
+	})
+	if err != nil || n != 50 {
+		t.Fatalf("Scan n=%d err=%v", n, err)
+	}
+
+	it := db.NewIterator()
+	it.SeekToFirst()
+	if !it.Valid() || string(it.Key()) != "user:0000" {
+		t.Fatalf("iterator first = %q", it.Key())
+	}
+	it.Close()
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Puts != 500 || s.WriteAmplification <= 0 {
+		t.Errorf("stats: puts=%d WA=%.2f", s.Puts, s.WriteAmplification)
+	}
+}
+
+func TestPublicAPISSDMode(t *testing.T) {
+	db, err := Open(&Options{UseSSD: true, MemTableSize: 8 << 10, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	db.Flush()
+	for _, i := range []int{0, 999, 1999} {
+		v, err := db.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func Example() {
+	db, _ := Open(nil)
+	defer db.Close()
+	db.Put([]byte("greeting"), []byte("hello, hybrid memory"))
+	v, _ := db.Get([]byte("greeting"))
+	fmt.Println(string(v))
+	// Output: hello, hybrid memory
+}
+
+func TestPublicCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/db.img"
+	db, err := Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	re, err := OpenImage(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	v, err := re.Get([]byte("k0123"))
+	if err != nil || string(v) != "v123" {
+		t.Fatalf("restored Get = %q, %v", v, err)
+	}
+}
