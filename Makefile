@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench-concurrent repro clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent write path (group-commit queue, WAL batch appends,
+# zero-copy merges under readers) must stay race-clean.
+race:
+	$(GO) test -race ./internal/core ./internal/wal
+
+# check is the gate for every change: build, vet, full tests, and the
+# race detector over the concurrency-heavy packages.
+check: vet build test race
+
+# Multi-writer throughput sweep (group commit vs serialized vs baselines).
+bench-concurrent:
+	$(GO) test ./internal/bench -run xxx -bench ConcurrentWrites -benchtime 1x
+
+# Regenerate every paper table/figure (about an hour at full scale).
+repro:
+	$(GO) run ./cmd/miodb-repro -all
+
+clean:
+	$(GO) clean ./...

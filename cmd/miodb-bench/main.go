@@ -30,19 +30,27 @@ func main() {
 		levels     = flag.Int("levels", 8, "miodb elastic-buffer levels")
 		ssd        = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		threads    = flag.Int("threads", 1, "concurrent writer goroutines for fill benchmarks")
+		batch      = flag.Int("batch", 1, "client-side batch size for concurrent fills (uses MPUT-style batches when > 1)")
+		zipfian    = flag.Bool("zipfian", false, "use zipfian keys for concurrent fills (default uniform)")
+		noGroup    = flag.Bool("no_group_commit", false, "disable miodb's group-commit pipeline (serialized write path)")
 	)
 	flag.Parse()
 	if *reads <= 0 {
 		*reads = *num
 	}
 
-	s, err := bench.OpenStore(bench.Config{
+	cfg := bench.Config{
 		Kind:         bench.StoreKind(*store),
 		MemTableSize: *memtable,
 		Levels:       *levels,
 		SSD:          *ssd,
 		Simulate:     true,
-	})
+	}
+	if *noGroup {
+		cfg.GroupCommit = core.Bool(false)
+	}
+	s, err := bench.OpenStore(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
@@ -65,9 +73,19 @@ func main() {
 			exitOn(err)
 			report("fillseq", r)
 		case "fillrandom":
-			r, err := bench.FillRandom(s, *num, uint64(*num), *valueSize, *seed, nil)
-			exitOn(err)
-			report("fillrandom", r)
+			if *threads > 1 {
+				dist := bench.Uniform
+				if *zipfian {
+					dist = bench.Zipfian
+				}
+				r, err := bench.ConcurrentBatchFill(s, *num, uint64(*num), *valueSize, *seed, *threads, *batch, dist)
+				exitOn(err)
+				report(fmt.Sprintf("fillrandom×%d", *threads), r)
+			} else {
+				r, err := bench.FillRandom(s, *num, uint64(*num), *valueSize, *seed, nil)
+				exitOn(err)
+				report("fillrandom", r)
+			}
 		case "readseq":
 			exitOn(s.Flush())
 			r, err := bench.ReadSeq(s, *reads)
@@ -86,6 +104,10 @@ func main() {
 			fmt.Printf("stats        : WA=%.2f interval-stall=%v cumulative-stall=%v flush=%v×%d serialize=%v deserialize=%v\n",
 				st.WriteAmplification, st.IntervalStall.Round(1e6), st.CumulativeStall.Round(1e6),
 				st.FlushTime.Round(1e6), st.Flushes, st.SerializeTime.Round(1e6), st.DeserializeTime.Round(1e6))
+			if st.WriteGroups > 0 {
+				fmt.Printf("  group commit: %d groups / %d writes (mean group size %.2f)\n",
+					st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)
+			}
 			for _, d := range st.Devices {
 				fmt.Printf("  device %-10s written=%dKB read=%dKB\n", d.Name, d.BytesWritten>>10, d.BytesRead>>10)
 			}

@@ -370,7 +370,7 @@ func (db *DB) ResetCounters() {
 	db.dram.ResetCounters()
 	db.nvm.ResetCounters()
 	db.disk.ResetCounters()
-	*db.st = stats.Recorder{}
+	db.st.Reset()
 }
 
 // Close shuts the store down.

@@ -667,7 +667,7 @@ func (db *DB) ResetCounters() {
 	db.dram.ResetCounters()
 	db.nvm.ResetCounters()
 	db.disk.ResetCounters()
-	*db.st = stats.Recorder{}
+	db.st.Reset()
 }
 
 // ContainerBytes returns the live (unconsumed) bytes in the matrix

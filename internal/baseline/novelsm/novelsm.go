@@ -495,7 +495,7 @@ func (db *DB) ResetCounters() {
 	if db.disk != nil {
 		db.disk.ResetCounters()
 	}
-	*db.st = stats.Recorder{}
+	db.st.Reset()
 }
 
 // Close shuts the store down.

@@ -59,6 +59,7 @@ type Config struct {
 	ParallelCompaction *bool
 	ZeroCopyMerge      *bool
 	OnePieceFlush      *bool
+	GroupCommit        *bool
 	DisableBloom       bool
 	DisableWAL         bool
 }
@@ -127,6 +128,7 @@ func OpenStore(c Config) (Store, error) {
 			ParallelCompaction: c.ParallelCompaction,
 			ZeroCopyMerge:      c.ZeroCopyMerge,
 			OnePieceFlush:      c.OnePieceFlush,
+			GroupCommit:        c.GroupCommit,
 			DisableWAL:         c.DisableWAL,
 		}
 		if c.DisableBloom {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"miodb/internal/keys"
+	"miodb/internal/kvstore"
 )
 
 // Batch collects writes for atomic application: either every operation in
@@ -43,11 +44,13 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
-// Write applies a batch: all operations receive consecutive sequence
-// numbers under one write-lock acquisition, are logged back to back, and
-// are inserted into the memtable together. A reader either sees none of
-// the batch or a consistent prefix while it is being inserted, and all of
-// it afterwards.
+// Write applies a batch through the group-commit queue: all operations
+// receive consecutive sequence numbers, are framed into the leader's
+// single coalesced WAL append, and are inserted into the memtable
+// together. A reader either sees none of the batch or a consistent
+// prefix while it is being inserted, and all of it afterwards. The batch
+// may share its commit group (and its WAL append) with other concurrent
+// writers.
 func (db *DB) Write(b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
@@ -57,48 +60,26 @@ func (db *DB) Write(b *Batch) error {
 			return fmt.Errorf("miodb: empty key in batch")
 		}
 	}
-	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
-	if db.isClosed() {
-		return ErrClosed
-	}
-	if err := db.makeRoomForWrite(); err != nil {
-		return err
-	}
+	return db.commit(b.ops)
+}
 
-	db.mu.Lock()
-	mem := db.current.mem
-	db.mu.Unlock()
-
-	// Log every record first: a crash during insertion replays the whole
-	// batch from the WAL.
-	var userBytes int64
-	firstSeq := db.seq.Load() + 1
-	for i, op := range b.ops {
-		seq := firstSeq + uint64(i)
-		if mem.log != nil {
-			if err := mem.log.Append(op.key, op.value, seq, op.kind); err != nil {
-				return err
-			}
-		}
-		userBytes += int64(len(op.key) + len(op.value))
+// WriteBatch applies a batch given as kvstore operations — the adapter
+// the network server's MPUT handler and the harness feed. The slices are
+// consumed synchronously; callers may reuse them after return.
+func (db *DB) WriteBatch(ops []kvstore.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
 	}
-	for i, op := range b.ops {
-		seq := firstSeq + uint64(i)
-		if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
-			return err
+	bops := make([]batchOp, len(ops))
+	for i, op := range ops {
+		if len(op.Key) == 0 {
+			return fmt.Errorf("miodb: empty key in batch")
 		}
-		if op.kind == keys.KindDelete {
-			db.st.CountDelete()
+		if op.Delete {
+			bops[i] = batchOp{key: op.Key, kind: keys.KindDelete}
 		} else {
-			db.st.CountPut()
+			bops[i] = batchOp{key: op.Key, value: op.Value, kind: keys.KindSet}
 		}
 	}
-	db.seq.Store(firstSeq + uint64(len(b.ops)) - 1)
-	if mem.minSeq == 0 {
-		mem.minSeq = firstSeq
-	}
-	mem.maxSeq = firstSeq + uint64(len(b.ops)) - 1
-	db.st.AddUserBytes(userBytes)
-	return nil
+	return db.commit(bops)
 }

@@ -157,11 +157,16 @@ func (db *DB) mergeOnce(level int) {
 		}
 		v.levels[level+1] = append([]levelEntry{tableEntry{result}}, v.levels[level+1]...)
 	})
-	// The merge is over: stale readers may finish their raw probes (the
-	// drained pair is now quiescent — an empty newtable and the complete
-	// result list — so raw reads are correct again).
-	m.New.SetActiveMerge(nil)
-	m.Old.SetActiveMerge(nil)
+	// The merge is over: redirect stale readers (version snapshots that
+	// still hold the drained pair) to the result. Raw reads on the pair
+	// would be wrong twice over — the Old skeleton's bloom filter does
+	// not cover nodes migrated in from the New side (false negatives for
+	// keys its list does hold), and the shared list may soon be migrating
+	// again under the result's own next merge. The activeMerge pointers
+	// stay set so no reader can ever observe a drained table as a plain
+	// one; Merge.Get and the forward chain both land on the live result.
+	m.New.SetForward(result)
+	m.Old.SetForward(result)
 	// The result now owns every arena; sever the drained skeletons'
 	// ownership under the structural lock (manifest snapshots read
 	// Regions() under the same lock).

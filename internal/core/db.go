@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -39,9 +40,26 @@ type DB struct {
 	st    *stats.Recorder
 	fp    pmtable.FilterParams
 
-	// writeMu serializes the client write path (WAL append + memtable
-	// insert), LevelDB-style.
-	writeMu sync.Mutex
+	// Group commit (LevelDB/RocksDB-style writer queue): concurrent
+	// callers of Put/Delete/Write enqueue a groupWriter under writeMu and
+	// park; the queue head becomes the leader, coalesces the pending
+	// writers into one group, and commits it — one WAL append for the
+	// whole group, one bulk memtable insert — under commitMu, then wakes
+	// the followers with the shared result.
+	//
+	// Lock order: writeMu → commitMu → mu. writeMu guards only the queue
+	// and is never held across device work, so writers keep enqueueing
+	// (and the next group keeps growing) while the leader commits.
+	// commitMu is held for the whole commit body and by every memtable
+	// rotation (makeRoomForWrite, FlushAll, Checkpoint), so rotation and
+	// a group insert can never interleave.
+	writeMu  sync.Mutex
+	writers  []*groupWriter
+	commitMu sync.Mutex
+	// inflight counts commit() calls currently in progress; leaders use it
+	// to decide whether yielding to grow their group can possibly help.
+	inflight atomic.Int64
+
 	seq     atomic.Uint64
 	tableID atomic.Uint64
 
@@ -188,52 +206,268 @@ func (db *DB) Delete(key []byte) error {
 	return db.write(key, nil, keys.KindDelete)
 }
 
-// write is the client write path: WAL append (sequential NVM write), then
-// DRAM memtable insert. MioDB's elastic buffer means it never throttles or
-// blocks here — the property behind the flat latency trace of Fig 8.
+// write is the client write path: the operation joins the group-commit
+// queue and returns once a leader has logged and inserted it. MioDB's
+// elastic buffer means it never throttles or blocks on compaction here —
+// the property behind the flat latency trace of Fig 8.
 func (db *DB) write(key, value []byte, kind keys.Kind) error {
 	if len(key) == 0 {
 		return fmt.Errorf("miodb: empty key")
 	}
+	var ops [1]batchOp
+	ops[0] = batchOp{key: key, value: value, kind: kind}
+	return db.commit(ops[:])
+}
+
+// groupWriter is one parked write request in the commit queue.
+type groupWriter struct {
+	ops  []batchOp
+	cv   sync.Cond // on db.writeMu
+	done bool
+	err  error
+}
+
+// maxGroupBytes caps the payload one leader coalesces into a single
+// commit, bounding both follower latency and the WAL encode buffer.
+const maxGroupBytes = 1 << 20
+
+func opsBytes(ops []batchOp) int {
+	n := 0
+	for _, op := range ops {
+		n += len(op.key) + len(op.value)
+	}
+	return n
+}
+
+// commit enqueues ops and parks until they are durable and visible.
+// The queue head acts as leader: it snapshots a prefix of the queue (up
+// to maxGroupBytes), commits the combined group under commitMu, then
+// pops the group and hands leadership to the new head. Followers return
+// the group's shared result without touching the WAL or memtable.
+func (db *DB) commit(ops []batchOp) error {
+	if !*db.opts.GroupCommit {
+		return db.commitSerial(ops)
+	}
+	db.inflight.Add(1)
+	defer db.inflight.Add(-1)
+
+	// Uncontended fast path: a lone writer with a single record gains
+	// nothing from the queue — it would elect itself leader, form a group
+	// of one, and pay the groupWriter allocation, two extra writeMu
+	// round-trips, and a condvar setup for nothing. Commit it directly.
+	// Multi-op batches stay on the group path so they keep the single
+	// AppendBatch framing even when alone. inflight was incremented above,
+	// so a second writer arriving now sees Load() > 1 and queues normally;
+	// commitSerial and commitGroup both serialize under commitMu, so the
+	// two paths never interleave within a commit. The bypass still counts
+	// as a group of one, keeping the invariant that every write in this
+	// configuration is accounted to exactly one commit (GroupedWrites
+	// equals total writes; mean group size ≈ 1 when writers are alone).
+	if len(ops) == 1 && db.inflight.Load() == 1 {
+		err := db.commitSerial(ops)
+		if err == nil {
+			db.st.AddWriteGroup(1)
+		}
+		return err
+	}
+
+	w := &groupWriter{ops: ops}
+	w.cv.L = &db.writeMu
+
 	db.writeMu.Lock()
-	defer db.writeMu.Unlock()
+	db.writers = append(db.writers, w)
+	for !w.done && db.writers[0] != w {
+		w.cv.Wait()
+	}
+	if w.done {
+		// A previous leader carried this write in its group.
+		db.writeMu.Unlock()
+		return w.err
+	}
+
+	// Leader. If other writers are in flight but none has queued up yet,
+	// yield once with the queue unlocked: concurrent writers that are
+	// between operations (or runnable but not yet scheduled — the common
+	// case when cores are scarce) get a chance to enqueue and ride this
+	// group instead of paying a full commit each. Parked writers never
+	// overtake the leader, so this is safe. The in-flight gate matters
+	// twice over: a lone writer must never donate its scheduler slice to
+	// unrelated CPU-bound goroutines (readers, scanners), and at two
+	// writers the yield's context-switch cost roughly cancels the one
+	// commit it saves — it only pays off once several writers can ride.
+	if len(db.writers) == 1 && db.inflight.Load() > 2 {
+		db.writeMu.Unlock()
+		runtime.Gosched()
+		db.writeMu.Lock()
+	}
+
+	// Leader: snapshot the group — self plus queued followers, capped.
+	group := []*groupWriter{w}
+	size := opsBytes(ops)
+	for _, f := range db.writers[1:] {
+		fb := opsBytes(f.ops)
+		if size+fb > maxGroupBytes {
+			break
+		}
+		size += fb
+		group = append(group, f)
+	}
+	db.writeMu.Unlock()
+
+	// Commit outside writeMu so new writers keep enqueueing behind the
+	// group; they cannot become leader until this group is popped.
+	db.commitMu.Lock()
+	err := db.commitGroup(group)
+	db.commitMu.Unlock()
+
+	db.writeMu.Lock()
+	// Pop the group with a copy so the queue's backing array is reused
+	// instead of drifting forward and forcing append to reallocate.
+	n := copy(db.writers, db.writers[len(group):])
+	for i := n; i < len(db.writers); i++ {
+		db.writers[i] = nil
+	}
+	db.writers = db.writers[:n]
+	for _, f := range group[1:] {
+		f.err = err
+		f.done = true
+		f.cv.Signal()
+	}
+	if len(db.writers) > 0 {
+		db.writers[0].cv.Signal() // promote the next leader
+	}
+	db.writeMu.Unlock()
+	return err
+}
+
+// commitGroup applies one coalesced group: consecutive sequence numbers,
+// a single WAL append framing every record, then bulk memtable inserts.
+// Callers hold commitMu, so rotation cannot interleave with the insert.
+func (db *DB) commitGroup(group []*groupWriter) error {
 	if db.isClosed() {
 		return ErrClosed
 	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
-	seq := db.seq.Add(1)
 
 	db.mu.Lock()
 	mem := db.current.mem
 	db.mu.Unlock()
 
+	nops := 0
+	for _, f := range group {
+		nops += len(f.ops)
+	}
+	firstSeq := db.seq.Load() + 1
+
+	// Log the whole group first with one coalesced append: a crash during
+	// insertion replays every record from the WAL (all-or-prefix per
+	// group), and the NVM device is charged one sequential write instead
+	// of one per record.
 	if mem.log != nil {
-		if err := mem.log.Append(key, value, seq, kind); err != nil {
+		recs := make([]wal.Record, 0, nops)
+		seq := firstSeq
+		for _, f := range group {
+			for _, op := range f.ops {
+				recs = append(recs, wal.Record{Key: op.key, Value: op.value, Seq: seq, Kind: op.kind})
+				seq++
+			}
+		}
+		if err := mem.log.AppendBatch(recs); err != nil {
 			return err
 		}
 	}
-	if err := mem.mt.Add(key, value, seq, kind); err != nil {
-		return err
-	}
-	if mem.minSeq == 0 {
-		mem.minSeq = seq
-	}
-	mem.maxSeq = seq
 
-	db.st.AddUserBytes(int64(len(key) + len(value)))
-	if kind == keys.KindDelete {
-		db.st.CountDelete()
-	} else {
-		db.st.CountPut()
+	seq := firstSeq
+	var userBytes int64
+	var puts, deletes int64
+	for _, f := range group {
+		for _, op := range f.ops {
+			if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
+				return err
+			}
+			userBytes += int64(len(op.key) + len(op.value))
+			if op.kind == keys.KindDelete {
+				deletes++
+			} else {
+				puts++
+			}
+			seq++
+		}
 	}
+	lastSeq := firstSeq + uint64(nops) - 1
+	db.seq.Store(lastSeq)
+	if mem.minSeq == 0 {
+		mem.minSeq = firstSeq
+	}
+	mem.maxSeq = lastSeq
+
+	db.st.AddUserBytes(userBytes)
+	db.st.CountPuts(puts)
+	db.st.CountDeletes(deletes)
+	db.st.AddWriteGroup(nops)
 	return nil
 }
 
-// makeRoomForWrite rotates a full memtable into the immutable queue.
-// Because every level of the elastic buffer is unbounded, rotation never
-// waits on flushing or compaction progress.
+// commitSerial is the GroupCommit=false ablation: every write commits
+// individually under commitMu with one WAL append per record — the
+// serialized write path the seed used and the concurrent-writer
+// benchmarks compare against. No groups form, so group stats stay zero.
+func (db *DB) commitSerial(ops []batchOp) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+
+	if db.isClosed() {
+		return ErrClosed
+	}
+	if err := db.makeRoomForWrite(); err != nil {
+		return err
+	}
+
+	db.mu.Lock()
+	mem := db.current.mem
+	db.mu.Unlock()
+
+	firstSeq := db.seq.Load() + 1
+	seq := firstSeq
+	var userBytes int64
+	var puts, deletes int64
+	for _, op := range ops {
+		if mem.log != nil {
+			if err := mem.log.Append(op.key, op.value, seq, op.kind); err != nil {
+				return err
+			}
+		}
+		if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
+			return err
+		}
+		userBytes += int64(len(op.key) + len(op.value))
+		if op.kind == keys.KindDelete {
+			deletes++
+		} else {
+			puts++
+		}
+		seq++
+	}
+	lastSeq := firstSeq + uint64(len(ops)) - 1
+	db.seq.Store(lastSeq)
+	if mem.minSeq == 0 {
+		mem.minSeq = firstSeq
+	}
+	mem.maxSeq = lastSeq
+
+	db.st.AddUserBytes(userBytes)
+	db.st.CountPuts(puts)
+	db.st.CountDeletes(deletes)
+	return nil
+}
+
+// makeRoomForWrite rotates a full memtable into the immutable queue. It
+// is leader-driven: only the committing leader (or FlushAll/Checkpoint,
+// which take the same commitMu) rotates, so a rotation can never slide
+// under a group insert. Because every level of the elastic buffer is
+// unbounded, rotation never waits on flushing or compaction progress.
 func (db *DB) makeRoomForWrite() error {
 	db.mu.Lock()
 	full := db.current.mem.mt.Full()
@@ -435,18 +669,20 @@ func (db *DB) idleLocked() bool {
 }
 
 // FlushAll forces the active memtable out and waits for the store to
-// drain fully (benchmarks and orderly shutdown).
+// drain fully (benchmarks and orderly shutdown). It takes commitMu, the
+// group-commit leader lock, so the rotation cannot interleave with an
+// in-flight group insert.
 func (db *DB) FlushAll() error {
-	db.writeMu.Lock()
+	db.commitMu.Lock()
 	fresh, err := db.newMemHandle()
 	if err != nil {
-		db.writeMu.Unlock()
+		db.commitMu.Unlock()
 		return err
 	}
 	db.mu.Lock()
 	if db.current.mem.mt.Empty() {
 		db.mu.Unlock()
-		db.writeMu.Unlock()
+		db.commitMu.Unlock()
 		fresh.mt.Release()
 		if fresh.log != nil {
 			fresh.log.Release()
@@ -461,7 +697,7 @@ func (db *DB) FlushAll() error {
 	})
 	db.logRotateLocked(fresh)
 	db.mu.Unlock()
-	db.writeMu.Unlock()
+	db.commitMu.Unlock()
 	db.WaitIdle()
 	return nil
 }
@@ -515,7 +751,9 @@ func (db *DB) ResetCounters() {
 	if db.ssd != nil {
 		db.ssd.Options().Disk.ResetCounters()
 	}
-	*db.st = stats.Recorder{}
+	// Atomic field-wise reset: background flush/compaction goroutines may
+	// be updating the recorder concurrently, so a struct copy would race.
+	db.st.Reset()
 }
 
 // NVMUsage returns current and peak NVM footprint in bytes (the elastic

@@ -98,13 +98,14 @@ func (db *DB) Checkpoint(path string) error {
 	if err != nil {
 		return err
 	}
-	// Hold the write path (WAL appends) and the structural lock so
-	// nothing mutates the NVM during the copy; reads keep flowing.
-	db.writeMu.Lock()
+	// Hold the commit lock (WAL appends + group inserts happen under it)
+	// and the structural lock so nothing mutates the NVM during the copy;
+	// reads keep flowing.
+	db.commitMu.Lock()
 	db.mu.Lock()
 	err = db.WriteImage(f)
 	db.mu.Unlock()
-	db.writeMu.Unlock()
+	db.commitMu.Unlock()
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}

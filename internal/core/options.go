@@ -46,6 +46,13 @@ type Options struct {
 	// NoveLSM-style flush the paper's Fig 12 compares against.
 	OnePieceFlush *bool
 
+	// GroupCommit selects the leader-based group-commit write pipeline:
+	// concurrent writers coalesce into one WAL append and one bulk
+	// memtable insert. When false, every write commits individually under
+	// the commit lock with a per-record WAL append — the serialized write
+	// path the ablation benchmarks compare against.
+	GroupCommit *bool
+
 	// SSD enables the DRAM-NVM-SSD hierarchy (§5.4): the repository is
 	// replaced by leveled SSTables on a simulated SSD.
 	SSD *SSDOptions
@@ -97,6 +104,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.OnePieceFlush == nil {
 		o.OnePieceFlush = boolPtr(true)
+	}
+	if o.GroupCommit == nil {
+		o.GroupCommit = boolPtr(true)
 	}
 	if o.TimeScale == 0 {
 		o.TimeScale = 1

@@ -24,15 +24,14 @@ type tableEntry struct{ t *pmtable.Table }
 
 // get uses the merge-hardened probe: a reader whose version snapshot
 // predates a zero-copy merge of this table must still observe the node
-// currently in flight between the pair.
+// currently in flight between the pair — or, once the merge completed,
+// be redirected to the result (whose filter covers the migrated nodes).
 func (e tableEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.t.GetSafe(key) }
-func (e tableEntry) mayContain(key []byte) bool {
-	if m := e.t.ActiveMerge(); m != nil {
-		return m.MayContain(key)
-	}
-	return e.t.MayContain(key)
-}
+func (e tableEntry) mayContain(key []byte) bool                       { return e.t.MayContainSafe(key) }
 func (e tableEntry) iterators() []iterx.Iterator {
+	if f := e.t.Forward(); f != nil {
+		return tableEntry{f}.iterators()
+	}
 	if m := e.t.ActiveMerge(); m != nil {
 		return mergeEntry{m}.iterators()
 	}
@@ -45,6 +44,11 @@ type mergeEntry struct{ m *pmtable.Merge }
 func (e mergeEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.m.Get(key) }
 func (e mergeEntry) mayContain(key []byte) bool                       { return e.m.MayContain(key) }
 func (e mergeEntry) iterators() []iterx.Iterator {
+	// A completed merge scans through its result: the drained pair's
+	// shared list may already be migrating under a later merge.
+	if r := e.m.Result(); r != nil {
+		return tableEntry{r}.iterators()
+	}
 	its := []iterx.Iterator{
 		e.m.New.NewIterator(),
 		e.m.Old.NewIterator(),

@@ -15,6 +15,21 @@ var ErrNotFound = errors.New("kvstore: not found")
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvstore: closed")
 
+// BatchOp is one operation inside a client batch: a put, or a delete
+// when Delete is set (Value is ignored for deletes).
+type BatchOp struct {
+	Key, Value []byte
+	Delete     bool
+}
+
+// BatchWriter is implemented by stores that can apply a whole batch of
+// operations in one commit (one WAL append, consecutive sequence
+// numbers). The network server and harness feed multi-op requests
+// through it when available and fall back to per-op Puts otherwise.
+type BatchWriter interface {
+	WriteBatch(ops []BatchOp) error
+}
+
 // Store is the uniform surface the benchmark harness drives.
 type Store interface {
 	// Put stores a key-value pair.

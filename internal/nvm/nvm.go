@@ -62,6 +62,11 @@ func NVMProfile() Profile {
 type Device struct {
 	space   *vaddr.Space
 	profile Profile
+	// free marks an all-zero profile (DRAM): no delay can ever be charged,
+	// so the metering fast path skips the charge arithmetic entirely. This
+	// matters because the memtable skip list charges its device on every
+	// node access.
+	free bool
 
 	// simulate enables latency injection; byte accounting is always on.
 	simulate atomic.Bool
@@ -83,6 +88,8 @@ type Device struct {
 // starts disabled; call SetSimulation(true) for benchmark runs.
 func NewDevice(space *vaddr.Space, profile Profile) *Device {
 	d := &Device{space: space, profile: profile}
+	d.free = profile.ReadLatency == 0 && profile.WriteLatency == 0 &&
+		profile.ReadNanosPerByte == 0 && profile.WriteNanosPerByte == 0
 	d.timeScaleMicro.Store(1_000_000)
 	return d
 }
@@ -122,7 +129,7 @@ func (d *Device) Release(r *vaddr.Region) { d.space.Release(r) }
 func (d *Device) OnRead(n int) {
 	d.bytesRead.Add(int64(n))
 	d.reads.Add(1)
-	if d.simulate.Load() {
+	if !d.free && d.simulate.Load() {
 		d.charge(d.profile.ReadLatency, d.profile.ReadNanosPerByte, n)
 	}
 }
@@ -131,7 +138,7 @@ func (d *Device) OnRead(n int) {
 func (d *Device) OnWrite(n int) {
 	d.bytesWritten.Add(int64(n))
 	d.writes.Add(1)
-	if d.simulate.Load() {
+	if !d.free && d.simulate.Load() {
 		d.charge(d.profile.WriteLatency, d.profile.WriteNanosPerByte, n)
 	}
 }

@@ -1,0 +1,95 @@
+package pmtable
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDrainedTableForwarding is the regression test for a reader
+// visibility bug: after a zero-copy merge, the Old table's skip list
+// holds every node (the New side's nodes were migrated in), but its
+// bloom filter still only covers its original keys. A stale version
+// snapshot probing the drained Old table through the raw filter would
+// get a false negative for migrated keys — Get returned NotFound for a
+// key the store holds. The fix forwards every safe read on a drained
+// table to the merge result, whose OR-merged filter is authoritative.
+func TestDrainedTableForwarding(t *testing.T) {
+	dram, nv := devices()
+
+	oldKVs := map[string]string{}
+	newKVs := map[string]string{}
+	for i := 0; i < 64; i++ {
+		oldKVs[fmt.Sprintf("old-%03d", i)] = fmt.Sprintf("ov%d", i)
+		newKVs[fmt.Sprintf("new-%03d", i)] = fmt.Sprintf("nv%d", i)
+	}
+	old := buildTable(t, dram, nv, 1, 1, oldKVs)
+	newer := buildTable(t, dram, nv, 2, 1000, newKVs)
+
+	m := NewMerge(newer, old)
+	// As the engine does: publish the merge before it runs.
+	newer.SetActiveMerge(m)
+	old.SetActiveMerge(m)
+	result := m.Run()
+	// As the engine does on completion: forward the drained pair.
+	newer.SetForward(result)
+	old.SetForward(result)
+
+	for k, want := range newKVs {
+		// The heart of the bug: Old's raw filter does not cover keys
+		// migrated in from New, yet Old's list now holds them.
+		if !old.MayContainSafe([]byte(k)) {
+			t.Fatalf("MayContainSafe(%s) = false on drained old table", k)
+		}
+		v, _, _, ok := old.GetSafe([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("GetSafe(%s) on drained old table = %q, %v; want %q", k, v, ok, want)
+		}
+		// The drained New side must forward too (its list is empty).
+		v, _, _, ok = newer.GetSafe([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("GetSafe(%s) on drained new table = %q, %v; want %q", k, v, ok, want)
+		}
+	}
+	for k, want := range oldKVs {
+		if !old.MayContainSafe([]byte(k)) {
+			t.Fatalf("MayContainSafe(%s) = false for original key", k)
+		}
+		v, _, _, ok := newer.GetSafe([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("GetSafe(%s) through forwarding = %q, %v; want %q", k, v, ok, want)
+		}
+	}
+
+	// A completed Merge handle (held by stale mergeEntry snapshots) must
+	// delegate to the result as well.
+	for k, want := range newKVs {
+		v, _, _, ok := m.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Merge.Get(%s) after completion = %q, %v; want %q", k, v, ok, want)
+		}
+	}
+
+	// Forwarding must chain: merge the result with a third table and
+	// check that reads through the original skeletons still land.
+	thirdKVs := map[string]string{}
+	for i := 0; i < 32; i++ {
+		thirdKVs[fmt.Sprintf("tri-%03d", i)] = fmt.Sprintf("tv%d", i)
+	}
+	third := buildTable(t, dram, nv, 3, 2000, thirdKVs)
+	m2 := NewMerge(third, result)
+	third.SetActiveMerge(m2)
+	result.SetActiveMerge(m2)
+	result2 := m2.Run()
+	third.SetForward(result2)
+	result.SetForward(result2)
+
+	for k, want := range thirdKVs {
+		if !old.MayContainSafe([]byte(k)) {
+			t.Fatalf("chained MayContainSafe(%s) = false", k)
+		}
+		v, _, _, ok := old.GetSafe([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("chained GetSafe(%s) = %q, %v; want %q", k, v, ok, want)
+		}
+	}
+}

@@ -221,20 +221,35 @@ func (m *Merge) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bo
 	// when the merger is hot, optimistic retries lose the race over and
 	// over, so cut over to the mutex quickly.
 	for tries := 0; tries < 4; tries++ {
+		// A completed merge hands off to the result: the shared list may
+		// already be migrating again under a *later* merge, whose steps do
+		// not bump this merge's seqlock — only the result's own protocol
+		// (its activeMerge / forward chain) covers that.
+		if m.done.Load() {
+			return m.result.GetSafe(key)
+		}
 		v1 := m.pos.Load()
 		if v1&1 == 1 {
 			runtime.Gosched()
 			continue
 		}
 		value, seq, kind, ok = m.getOnce(key)
-		if m.pos.Load() == v1 {
+		// Probe valid only if no migration step of this merge overlapped
+		// (pos unchanged) and no later merge could have started (done
+		// still false — later merges begin strictly after done is set).
+		if m.pos.Load() == v1 && !m.done.Load() {
 			return value, seq, kind, ok
 		}
 	}
 	// Persistent contention with the merger: serialize behind one step.
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.getOnce(key)
+	value, seq, kind, ok = m.getOnce(key)
+	done := m.done.Load()
+	m.mu.Unlock()
+	if done {
+		return m.result.GetSafe(key)
+	}
+	return value, seq, kind, ok
 }
 
 func (m *Merge) getOnce(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {

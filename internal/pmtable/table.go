@@ -53,6 +53,22 @@ type Table struct {
 	// a snapshot taken before the merge began must detect it and re-read
 	// through the merge's mark-aware protocol; see Table.GetSafe.
 	activeMerge atomic.Pointer[Merge]
+
+	// forward, once set, redirects every safe read to the merge result
+	// that superseded this table. It is set exactly once, when the
+	// table's zero-copy merge completes, and never cleared: a drained
+	// table is a permanent skeleton that only stale version snapshots
+	// still reference. Forwarding matters twice over. First, the Old
+	// side of a merge shares its skip list with the result, but keeps
+	// its original bloom filter — nodes migrated in from the New side
+	// are not covered, so a raw MayContain on the skeleton yields false
+	// negatives for keys the list does hold. Second, once the result
+	// enters a later merge of its own, the shared list is being
+	// migrated again; raw probes through the skeleton would race that
+	// migration with no mark protection. Following forward (transitively)
+	// always lands on the live table, whose own filter and activeMerge
+	// state are authoritative.
+	forward atomic.Pointer[Table]
 }
 
 // FilterParams sizes the per-table bloom filters; all tables in one store
@@ -151,21 +167,37 @@ func (t *Table) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bo
 	return t.list.Get(key)
 }
 
-// SetActiveMerge publishes (or clears, with nil) the merge this table is
-// participating in. The engine calls it under its structural lock before
-// the first node migrates and after the merge result is installed.
+// SetActiveMerge publishes the merge this table is participating in. The
+// engine calls it under its structural lock before the first node
+// migrates. It is never cleared: completion is published by SetForward
+// instead, so stale readers can never observe a drained table that looks
+// like a plain one (raw list reads would be fine, but the Old side's
+// original bloom filter does not cover nodes the merge migrated in).
 func (t *Table) SetActiveMerge(m *Merge) { t.activeMerge.Store(m) }
 
 // ActiveMerge returns the in-flight merge touching this table, if any.
 func (t *Table) ActiveMerge() *Merge { return t.activeMerge.Load() }
+
+// SetForward publishes the merge result that supersedes this table. The
+// engine calls it under its structural lock after installing the result;
+// from then on every safe read through this table delegates to the
+// result. Set exactly once, never cleared.
+func (t *Table) SetForward(result *Table) { t.forward.Store(result) }
+
+// Forward returns the superseding merge result, if this table has been
+// drained by a completed merge.
+func (t *Table) Forward() *Table { return t.forward.Load() }
 
 // GetSafe is Get hardened against a concurrently starting zero-copy
 // merge. A reader whose structural snapshot predates the merge sees this
 // table as a plain table; probing it raw could miss the single node in
 // flight between the pair. The protocol:
 //
-//  1. if a merge is already published, delegate to its mark-aware Get;
-//  2. otherwise probe raw, then re-check: the merger publishes the merge
+//  1. if a completed merge has superseded this table, delegate to the
+//     result (whose filter and merge state are authoritative — see the
+//     forward field);
+//  2. if a merge is already published, delegate to its mark-aware Get;
+//  3. otherwise probe raw, then re-check: the merger publishes the merge
 //     (an atomic store) strictly before the first migration's atomic
 //     pointer stores, so a raw probe that could have observed any
 //     migration effect will observe the published merge on the re-check
@@ -173,6 +205,9 @@ func (t *Table) ActiveMerge() *Merge { return t.activeMerge.Load() }
 //     the protocol. A probe that sees no merge on the re-check ran
 //     entirely against pre-merge state and is correct as is.
 func (t *Table) GetSafe(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	if f := t.Forward(); f != nil {
+		return f.GetSafe(key)
+	}
 	if m := t.ActiveMerge(); m != nil {
 		return m.Get(key)
 	}
@@ -190,6 +225,21 @@ func (t *Table) MayContain(key []byte) bool {
 		return true
 	}
 	return t.filter.MayContain(key)
+}
+
+// MayContainSafe is the filter probe matching GetSafe's protocol: a
+// drained table answers with its successor's (merged) filter, a merging
+// table with the union of the pair's filters. Using the raw filter on a
+// drained Old table would yield false negatives for keys its list
+// received from the New side.
+func (t *Table) MayContainSafe(key []byte) bool {
+	if f := t.Forward(); f != nil {
+		return f.MayContainSafe(key)
+	}
+	if m := t.ActiveMerge(); m != nil {
+		return m.MayContain(key)
+	}
+	return t.MayContain(key)
 }
 
 // Count returns the number of live entries.

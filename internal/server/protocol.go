@@ -16,6 +16,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"miodb/internal/kvstore"
 )
 
 // Op codes.
@@ -25,6 +27,11 @@ const (
 	OpDelete
 	OpScan
 	OpStats
+	// OpMPut applies a batch of writes atomically in one round trip. The
+	// request key frame is empty; the value frame carries the batch payload
+	// (see encodeBatchPayload). Batches feed the store's group-commit
+	// pipeline directly when it implements kvstore.BatchWriter.
+	OpMPut
 )
 
 // Status codes.
@@ -117,6 +124,74 @@ func readResponse(r io.Reader) (byte, []byte, error) {
 	}
 	payload, err := readFrame(r)
 	return status[0], payload, err
+}
+
+// encodeBatchPayload packs an MPUT batch:
+//
+//	count(4) | per op: flags(1) | keyLen(4) | key | valLen(4) | val
+//
+// flags bit 0 marks a delete (the value frame is then empty).
+func encodeBatchPayload(ops []kvstore.BatchOp) []byte {
+	size := 4
+	for _, op := range ops {
+		size += 9 + len(op.Key) + len(op.Value)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ops)))
+	out = append(out, hdr[:]...)
+	for _, op := range ops {
+		flags := byte(0)
+		if op.Delete {
+			flags = 1
+		}
+		out = append(out, flags)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(op.Key)))
+		out = append(out, hdr[:]...)
+		out = append(out, op.Key...)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(op.Value)))
+		out = append(out, hdr[:]...)
+		out = append(out, op.Value...)
+	}
+	return out
+}
+
+// decodeBatchPayload unpacks an MPUT batch.
+func decodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("server: truncated batch payload")
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if count > maxFrame/9 {
+		return nil, fmt.Errorf("server: absurd batch count %d", count)
+	}
+	ops := make([]kvstore.BatchOp, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 5 {
+			return nil, fmt.Errorf("server: truncated batch op")
+		}
+		flags := b[0]
+		kl := binary.LittleEndian.Uint32(b[1:5])
+		b = b[5:]
+		if uint32(len(b)) < kl+4 {
+			return nil, fmt.Errorf("server: truncated batch key")
+		}
+		k := b[:kl]
+		b = b[kl:]
+		vl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < vl {
+			return nil, fmt.Errorf("server: truncated batch value")
+		}
+		v := b[:vl]
+		b = b[vl:]
+		ops = append(ops, kvstore.BatchOp{Key: k, Value: v, Delete: flags&1 != 0})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("server: %d trailing bytes in batch payload", len(b))
+	}
+	return ops, nil
 }
 
 // encodeScanPayload packs scan results as keyLen|key|valLen|val pairs.

@@ -100,6 +100,15 @@ func (s *Server) handle(conn net.Conn, req request) error {
 			return writeResponse(conn, StatusError, []byte(err.Error()))
 		}
 		return writeResponse(conn, StatusOK, nil)
+	case OpMPut:
+		ops, err := decodeBatchPayload(req.val)
+		if err != nil {
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+		if err := applyBatch(s.store, ops); err != nil {
+			return writeResponse(conn, StatusError, []byte(err.Error()))
+		}
+		return writeResponse(conn, StatusOK, nil)
 	case OpScan:
 		if len(req.val) != 4 {
 			return writeResponse(conn, StatusError, []byte("scan: missing limit"))
@@ -126,6 +135,28 @@ func (s *Server) handle(conn net.Conn, req request) error {
 	default:
 		return writeResponse(conn, StatusError, []byte("unknown op"))
 	}
+}
+
+// applyBatch hands a decoded MPUT to the store. Stores with a batch write
+// path (MioDB's group-commit pipeline) get the whole batch in one commit —
+// one WAL append, consecutive sequence numbers; others fall back to
+// per-operation writes, which keeps every kvstore.Store servable.
+func applyBatch(store kvstore.Store, ops []kvstore.BatchOp) error {
+	if bw, ok := store.(kvstore.BatchWriter); ok {
+		return bw.WriteBatch(ops)
+	}
+	for _, op := range ops {
+		var err error
+		if op.Delete {
+			err = store.Delete(op.Key)
+		} else {
+			err = store.Put(op.Key, op.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close stops accepting, closes every connection, and waits for handlers.
@@ -207,6 +238,24 @@ func (c *Client) Put(key, value []byte) error {
 // Delete removes a key.
 func (c *Client) Delete(key []byte) error {
 	status, payload, err := c.roundTrip(OpDelete, key, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}
+
+// MPut applies a batch of writes in one round trip. With a batch-capable
+// store behind the server the whole batch commits atomically (one WAL
+// append, consecutive sequence numbers); otherwise it is applied as
+// individual writes in order.
+func (c *Client) MPut(ops []kvstore.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	status, payload, err := c.roundTrip(OpMPut, nil, encodeBatchPayload(ops))
 	if err != nil {
 		return err
 	}

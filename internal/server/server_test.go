@@ -137,6 +137,129 @@ func TestConcurrentClients(t *testing.T) {
 	}
 }
 
+func TestClientMPut(t *testing.T) {
+	_, c := startServer(t)
+
+	ops := []kvstore.BatchOp{
+		{Key: []byte("m1"), Value: []byte("v1")},
+		{Key: []byte("m2"), Value: []byte("v2")},
+		{Key: []byte("m3"), Value: []byte("v3")},
+	}
+	if err := c.MPut(ops); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		v, err := c.Get(op.Key)
+		if err != nil || !bytes.Equal(v, op.Value) {
+			t.Fatalf("Get(%s) = %q, %v", op.Key, v, err)
+		}
+	}
+	// A batch mixing writes and deletes applies in order.
+	if err := c.MPut([]kvstore.BatchOp{
+		{Key: []byte("m1"), Value: []byte("v1b")},
+		{Key: []byte("m2"), Delete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Get([]byte("m1")); err != nil || string(v) != "v1b" {
+		t.Fatalf("Get(m1) = %q, %v", v, err)
+	}
+	if _, err := c.Get([]byte("m2")); err != kvstore.ErrNotFound {
+		t.Fatalf("Get(m2) after batched delete = %v", err)
+	}
+	// Empty batch is a no-op.
+	if err := c.MPut(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMPutClients(t *testing.T) {
+	srv, _ := startServer(t)
+	addr := srv.ln.Addr().String()
+
+	const clients = 4
+	const batches = 40
+	const batchSize = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for b := 0; b < batches; b++ {
+				ops := make([]kvstore.BatchOp, batchSize)
+				for i := range ops {
+					ops[i] = kvstore.BatchOp{
+						Key:   []byte(fmt.Sprintf("c%d-b%03d-k%d", g, b, i)),
+						Value: []byte(fmt.Sprintf("v%d.%d.%d", g, b, i)),
+					}
+				}
+				if err := c.MPut(ops); err != nil {
+					errCh <- fmt.Errorf("client %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Every batched write from every client is visible.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for g := 0; g < clients; g++ {
+		for b := 0; b < batches; b++ {
+			for i := 0; i < batchSize; i++ {
+				k := fmt.Sprintf("c%d-b%03d-k%d", g, b, i)
+				want := fmt.Sprintf("v%d.%d.%d", g, b, i)
+				v, err := c.Get([]byte(k))
+				if err != nil || string(v) != want {
+					t.Fatalf("Get(%s) = %q, %v (want %q)", k, v, err, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	in := []kvstore.BatchOp{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("del"), Delete: true},
+		{Key: []byte("big"), Value: bytes.Repeat([]byte("v"), 4096)},
+		{Key: []byte("empty"), Value: nil},
+	}
+	out, err := decodeBatchPayload(encodeBatchPayload(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d ops", len(out))
+	}
+	for i := range in {
+		if !bytes.Equal(in[i].Key, out[i].Key) || !bytes.Equal(in[i].Value, out[i].Value) || in[i].Delete != out[i].Delete {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, in[i], out[i])
+		}
+	}
+	for _, bad := range [][]byte{{1}, {1, 0, 0, 0}, {1, 0, 0, 0, 0, 5, 0, 0, 0}} {
+		if _, err := decodeBatchPayload(bad); err == nil {
+			t.Errorf("truncated batch payload %v accepted", bad)
+		}
+	}
+}
+
 func TestScanPayloadRoundTrip(t *testing.T) {
 	in := [][2][]byte{
 		{[]byte("a"), []byte("1")},

@@ -36,6 +36,12 @@ type Recorder struct {
 	userBytes atomic.Int64
 	// Operation counts.
 	puts, gets, deletes, scans atomic.Int64
+	// Group commit: number of leader-committed write groups and the
+	// records they carried. groupedWrites / writeGroups is the mean
+	// coalescing factor; > 1 means concurrent writers actually shared
+	// WAL appends.
+	writeGroups   atomic.Int64
+	groupedWrites atomic.Int64
 }
 
 // AddIntervalStall records a full write-path block of duration d.
@@ -94,6 +100,50 @@ func (r *Recorder) CountDelete() { r.deletes.Add(1) }
 // CountScan tallies one range scan.
 func (r *Recorder) CountScan() { r.scans.Add(1) }
 
+// CountPuts tallies n write operations in one step (group commit).
+func (r *Recorder) CountPuts(n int64) {
+	if n != 0 {
+		r.puts.Add(n)
+	}
+}
+
+// CountDeletes tallies n deletes in one step (group commit).
+func (r *Recorder) CountDeletes(n int64) {
+	if n != 0 {
+		r.deletes.Add(n)
+	}
+}
+
+// AddWriteGroup records one group commit carrying n writes.
+func (r *Recorder) AddWriteGroup(n int) {
+	r.writeGroups.Add(1)
+	r.groupedWrites.Add(int64(n))
+}
+
+// Reset zeroes every counter atomically, field by field. Unlike a struct
+// copy (`*r = Recorder{}`), it is safe while other goroutines are
+// concurrently updating the recorder: each atomic is stored individually,
+// so no atomic word is ever written with a plain (racy) copy.
+func (r *Recorder) Reset() {
+	r.intervalStallNs.Store(0)
+	r.intervalStalls.Store(0)
+	r.cumulativeStallNs.Store(0)
+	r.serializeNs.Store(0)
+	r.deserializeNs.Store(0)
+	r.flushNs.Store(0)
+	r.flushBytes.Store(0)
+	r.flushes.Store(0)
+	r.compactionNs.Store(0)
+	r.compactions.Store(0)
+	r.userBytes.Store(0)
+	r.puts.Store(0)
+	r.gets.Store(0)
+	r.deletes.Store(0)
+	r.scans.Store(0)
+	r.writeGroups.Store(0)
+	r.groupedWrites.Store(0)
+}
+
 // DeviceCounters mirrors a device's traffic in a snapshot.
 type DeviceCounters struct {
 	Name                    string
@@ -117,6 +167,12 @@ type Snapshot struct {
 	Puts, Gets       int64
 	Deletes, Scans   int64
 
+	// WriteGroups counts leader commits; GroupedWrites counts the records
+	// they carried. MeanGroupSize is their ratio (0 when no groups).
+	WriteGroups   int64
+	GroupedWrites int64
+	MeanGroupSize float64
+
 	// Devices lists per-device traffic; WriteAmplification is total
 	// persistent-device write traffic ÷ user bytes.
 	Devices            []DeviceCounters
@@ -126,7 +182,16 @@ type Snapshot struct {
 // Snapshot captures the recorder. Device traffic and WA are attached by
 // the store, which knows its devices.
 func (r *Recorder) Snapshot() Snapshot {
+	groups := r.writeGroups.Load()
+	grouped := r.groupedWrites.Load()
+	mean := 0.0
+	if groups > 0 {
+		mean = float64(grouped) / float64(groups)
+	}
 	return Snapshot{
+		WriteGroups:      groups,
+		GroupedWrites:    grouped,
+		MeanGroupSize:    mean,
 		IntervalStall:    time.Duration(r.intervalStallNs.Load()),
 		IntervalStalls:   r.intervalStalls.Load(),
 		CumulativeStall:  time.Duration(r.cumulativeStallNs.Load()),

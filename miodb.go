@@ -60,6 +60,27 @@ type Options struct {
 	Simulate bool
 	// TimeScale scales injected latencies (1.0 = full model).
 	TimeScale float64
+	// GroupCommit selects the leader-based group-commit write pipeline
+	// for concurrent writers (nil/true = on, the default). Bool(false)
+	// restores the serialized per-record write path.
+	GroupCommit *bool
+}
+
+// Bool returns a pointer to b, for optional boolean options.
+func Bool(b bool) *bool { return core.Bool(b) }
+
+func (opts *Options) coreOptions() core.Options {
+	var co core.Options
+	if opts != nil {
+		co.MemTableSize = opts.MemTableSize
+		co.Levels = opts.Levels
+		co.BloomBitsPerKey = opts.BloomBitsPerKey
+		co.DisableWAL = opts.DisableWAL
+		co.Simulate = opts.Simulate
+		co.TimeScale = opts.TimeScale
+		co.GroupCommit = opts.GroupCommit
+	}
+	return co
 }
 
 // Stats is the store's cost accounting snapshot: operation counts, stall
@@ -73,17 +94,9 @@ type DB struct {
 
 // Open creates a store. opts may be nil for defaults.
 func Open(opts *Options) (*DB, error) {
-	var co core.Options
-	if opts != nil {
-		co.MemTableSize = opts.MemTableSize
-		co.Levels = opts.Levels
-		co.BloomBitsPerKey = opts.BloomBitsPerKey
-		co.DisableWAL = opts.DisableWAL
-		co.Simulate = opts.Simulate
-		co.TimeScale = opts.TimeScale
-		if opts.UseSSD {
-			co.SSD = &core.SSDOptions{}
-		}
+	co := opts.coreOptions()
+	if opts != nil && opts.UseSSD {
+		co.SSD = &core.SSDOptions{}
 	}
 	inner, err := core.Open(co)
 	if err != nil {
@@ -135,16 +148,7 @@ func (db *DB) Checkpoint(path string) error { return db.inner.Checkpoint(path) }
 // Checkpoint. opts must carry the same structural settings (Levels) the
 // checkpointed store used; nil means defaults.
 func OpenImage(path string, opts *Options) (*DB, error) {
-	var co core.Options
-	if opts != nil {
-		co.MemTableSize = opts.MemTableSize
-		co.Levels = opts.Levels
-		co.BloomBitsPerKey = opts.BloomBitsPerKey
-		co.DisableWAL = opts.DisableWAL
-		co.Simulate = opts.Simulate
-		co.TimeScale = opts.TimeScale
-	}
-	inner, err := core.OpenImage(path, co)
+	inner, err := core.OpenImage(path, opts.coreOptions())
 	if err != nil {
 		return nil, err
 	}
