@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-concurrent repro clean
+.PHONY: all build vet test race check torture bench-concurrent repro clean
 
 all: check
 
@@ -18,9 +18,14 @@ test:
 race:
 	$(GO) test -race ./internal/core ./internal/wal
 
-# check is the gate for every change: build, vet, full tests, and the
-# race detector over the concurrency-heavy packages.
-check: vet build test race
+# Crash-torture: randomized power failures, torn writes, and interrupted
+# recoveries under the race detector (50+ cycles; deterministic per seed).
+torture:
+	$(GO) test -race ./internal/core -run 'TestCrashTorture|TestDoubleCrashDuringRecovery' -v
+
+# check is the gate for every change: build, vet, full tests, the race
+# detector over the concurrency-heavy packages, and the crash-torture run.
+check: vet build test race torture
 
 # Multi-writer throughput sweep (group commit vs serialized vs baselines).
 bench-concurrent:

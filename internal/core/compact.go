@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"miodb/internal/iterx"
 	"miodb/internal/pmtable"
+	"miodb/internal/vaddr"
 )
 
 // compactLoop is the per-level zero-copy compaction thread (§4.5): as soon
@@ -12,19 +14,25 @@ import (
 // result into the level below. Levels are unbounded, so a slow merge below
 // never blocks a merge above — the non-blocking parallel compaction that
 // distinguishes MioDB from RocksDB-style parallel compaction.
+//
+// A persistent device or manifest failure latches the store degraded and
+// stops the loop (reads keep being served through the version chain).
 func (db *DB) compactLoop(level int) {
 	defer db.wg.Done()
 	for {
 		db.mu.Lock()
-		for !db.levelNeedsMergeLocked(level) && !db.closed {
+		for !db.levelNeedsMergeLocked(level) && !db.closed && db.bgErr == nil {
 			db.cond.Wait()
 		}
-		if db.abandon || (db.closed && !db.levelNeedsMergeLocked(level)) {
+		if db.abandon || db.bgErr != nil || (db.closed && !db.levelNeedsMergeLocked(level)) {
 			db.mu.Unlock()
 			return
 		}
 		db.mu.Unlock()
-		db.mergeOnce(level)
+		if err := db.mergeOnce(level); err != nil {
+			db.degrade(fmt.Sprintf("compaction L%d", level), err)
+			return
+		}
 	}
 }
 
@@ -36,10 +44,13 @@ func (db *DB) singleCompactLoop() {
 		worked := false
 		for level := 0; level < db.opts.Levels-1; level++ {
 			db.mu.Lock()
-			need := db.levelNeedsMergeLocked(level)
+			need := db.levelNeedsMergeLocked(level) && db.bgErr == nil
 			db.mu.Unlock()
 			if need {
-				db.mergeOnce(level)
+				if err := db.mergeOnce(level); err != nil {
+					db.degrade(fmt.Sprintf("compaction L%d", level), err)
+					return
+				}
 				worked = true
 			}
 		}
@@ -47,14 +58,14 @@ func (db *DB) singleCompactLoop() {
 			continue
 		}
 		db.mu.Lock()
-		if db.closed || db.abandon {
+		if db.closed || db.abandon || db.bgErr != nil {
 			db.mu.Unlock()
 			return
 		}
 		if !db.anyMergeNeededLocked() {
 			db.cond.Wait()
 		}
-		stop := db.closed || db.abandon
+		stop := db.closed || db.abandon || db.bgErr != nil
 		db.mu.Unlock()
 		if stop {
 			return
@@ -97,8 +108,16 @@ func (db *DB) mergeActiveLocked(level int) bool {
 
 // mergeOnce zero-copy-merges the two oldest tables of the level and
 // installs the result in the level below.
-func (db *DB) mergeOnce(level int) {
+func (db *DB) mergeOnce(level int) error {
 	start := time.Now()
+
+	// Pre-gate on the device: the zero-copy merge body is raw pointer
+	// migration with no failure seam of its own, so the modeled device
+	// either admits the operation here or refuses it before any node
+	// has moved.
+	if err := db.gateNVMWrite(64); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
 
 	// Pick the two oldest settled tables (the tail of the newest-first
 	// list) and replace them by a merge entry readers know how to probe.
@@ -106,16 +125,21 @@ func (db *DB) mergeOnce(level int) {
 	entries := db.current.levels[level]
 	if db.mergeActiveLocked(level) || len(entries) < 2 {
 		db.mu.Unlock()
-		return
+		return nil
 	}
 	oldE, ok1 := entries[len(entries)-1].(tableEntry)
 	newE, ok2 := entries[len(entries)-2].(tableEntry)
 	if !ok1 || !ok2 {
 		db.mu.Unlock()
-		return
+		return nil
 	}
 	m := pmtable.NewMerge(newE.t, oldE.t)
 	m.SetPersistSlot(db.manifest.region(), db.markSlots[level])
+	// Clear any mark a previous merge of this level left behind before
+	// the pairing becomes durable: a crash between the mergeStart record
+	// and the merge's first own mark write must not resume from a stale
+	// address.
+	db.manifest.region().Store64(db.markSlots[level], uint64(vaddr.NilAddr))
 	am := &activeMerge{level: level, merge: m, newID: newE.t.ID, oldID: oldE.t.ID}
 	db.merges = append(db.merges, am)
 	// Publish the merge on both tables before any node migrates, so
@@ -127,14 +151,48 @@ func (db *DB) mergeOnce(level int) {
 		lv := v.levels[level]
 		v.levels[level] = append(lv[:len(lv)-2:len(lv)-2], mergeEntry{m})
 	})
-	db.logMergeStartLocked(level, am.newID, am.oldID)
+	if err := db.logMergeStartLocked(level, am.newID, am.oldID); err != nil {
+		// Unwind under the same mu hold: acquireVersion needs mu, so no
+		// reader has observed the merge version, and no node migrated.
+		for i, a := range db.merges {
+			if a == am {
+				db.merges = append(db.merges[:i], db.merges[i+1:]...)
+				break
+			}
+		}
+		db.editVersionLocked(func(v *version) {
+			lv := v.levels[level]
+			for i, e := range lv {
+				if me, ok := e.(mergeEntry); ok && me.m == m {
+					rest := append([]levelEntry(nil), lv[:i]...)
+					rest = append(rest, newE, oldE)
+					rest = append(rest, lv[i+1:]...)
+					v.levels[level] = rest
+					break
+				}
+			}
+		})
+		newE.t.SetActiveMerge(nil)
+		oldE.t.SetActiveMerge(nil)
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
 	db.mu.Unlock()
 
 	var result *pmtable.Table
+	var release func()
 	if *db.opts.ZeroCopyMerge {
 		result = m.Run()
 	} else {
-		result = db.copyMerge(m)
+		var err error
+		result, release, err = db.copyMerge(m)
+		if err != nil {
+			// The pair stays as a (never-started) merge entry: readers
+			// probe it correctly through the merge protocol, and the
+			// logged mergeStart lets recovery resume it from the cleared
+			// mark. The store is about to degrade anyway.
+			return fmt.Errorf("copy merge: %w", err)
+		}
 	}
 
 	// Install: drop the merge entry from this level, publish the result
@@ -175,29 +233,47 @@ func (db *DB) mergeOnce(level int) {
 	db.levelStats[level].merges++
 	db.levelStats[level].nodesMoved += m.Moved()
 	db.levelStats[level].garbageBytes += m.Garbage()
-	db.logMergeDoneLocked(level, am.newID, am.oldID, tableToState(result))
+	if err := db.logMergeDoneLocked(level, am.newID, am.oldID, tableToState(result)); err != nil {
+		// In-memory state is already final and consistent for readers;
+		// recovery replays the durable mergeStart and resumes the merge
+		// from its persisted mark (an already-drained merge resumes as a
+		// no-op). Source arenas were never released, so nothing the
+		// recoverable image references is lost.
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if release != nil {
+		// Copy-merge ablation: the source arenas are now unreferenced by
+		// the durable manifest; queue them for release once every reader
+		// version referencing the pair drains.
+		db.current.releaseFns = append(db.current.releaseFns, release)
+	}
 	db.mu.Unlock()
 
 	db.st.AddCompaction(time.Since(start))
+	return nil
 }
 
 // copyMerge is the non-zero-copy ablation: physically rebuild the pair
-// into a fresh arena, then release the source arenas (deferred).
-func (db *DB) copyMerge(m *pmtable.Merge) *pmtable.Table {
+// into a fresh arena. The returned release func frees the source arenas;
+// the caller must only queue it after the merge is durably logged.
+func (db *DB) copyMerge(m *pmtable.Merge) (*pmtable.Table, func(), error) {
+	// Gate before building: the merging iterator is stateful, so the
+	// build itself must run at most once.
+	if err := db.gateNVMWrite(64); err != nil {
+		return nil, nil, err
+	}
 	merged := iterx.NewMerging(m.New.NewIterator(), m.Old.NewIterator())
 	result, err := pmtable.Build(db.nvm, db.opts.ChunkSize, merged, m.New.ID, db.fp)
 	if err != nil {
-		panic(err)
+		return nil, nil, err
 	}
 	result.MinSeq, result.MaxSeq = m.Old.MinSeq, m.New.MaxSeq
 	newT, oldT := m.New, m.Old
-	db.mu.Lock()
-	db.current.releaseFns = append(db.current.releaseFns, func() {
+	return result, func() {
 		newT.ReleaseRegions(db.nvm)
 		oldT.ReleaseRegions(db.nvm)
-	})
-	db.mu.Unlock()
-	return result
+	}, nil
 }
 
 // lazyLoop drains the last buffer level into the repository (in-memory
@@ -209,10 +285,10 @@ func (db *DB) lazyLoop() {
 	last := db.opts.Levels - 1
 	for {
 		db.mu.Lock()
-		for !db.lazyWorkLocked(last) && !db.closed {
+		for !db.lazyWorkLocked(last) && !db.closed && db.bgErr == nil {
 			db.cond.Wait()
 		}
-		if db.abandon || (db.closed && !db.lazyWorkLocked(last)) {
+		if db.abandon || db.bgErr != nil || (db.closed && !db.lazyWorkLocked(last)) {
 			db.mu.Unlock()
 			return
 		}
@@ -220,7 +296,10 @@ func (db *DB) lazyLoop() {
 		e := entries[len(entries)-1].(tableEntry) // oldest
 		db.mu.Unlock()
 
-		db.lazyOne(last, e.t)
+		if err := db.lazyOne(last, e.t); err != nil {
+			db.degrade("lazy compaction", err)
+			return
+		}
 	}
 }
 
@@ -235,19 +314,28 @@ func (db *DB) lazyWorkLocked(last int) bool {
 	return ok
 }
 
-func (db *DB) lazyOne(last int, t *pmtable.Table) {
+func (db *DB) lazyOne(last int, t *pmtable.Table) error {
 	start := time.Now()
 	db.mu.Lock()
 	repo := db.repo
 	db.mu.Unlock()
 	if repo != nil {
-		if err := repo.Absorb(t); err != nil {
-			panic(err)
+		// Absorb is retry-safe: a re-absorbed node whose (key, seq) is
+		// already present is skipped, so a transient mid-absorb failure
+		// re-runs without duplicating entries.
+		if err := db.runDeviceOp(func() error {
+			if out := db.nvm.CheckWrite(64); out.Err != nil {
+				return out.Err
+			}
+			return repo.Absorb(t)
+		}); err != nil {
+			return fmt.Errorf("absorb: %w", err)
 		}
 	} else {
 		// DRAM-NVM-SSD mode: serialize the PMTable into an L0 SSTable.
-		if err := db.ssd.FlushToL0(t.NewIterator()); err != nil {
-			panic(err)
+		// A fresh iterator per attempt keeps the retry self-contained.
+		if err := db.runDeviceOp(func() error { return db.ssd.FlushToL0(t.NewIterator()) }); err != nil {
+			return fmt.Errorf("flush to L0: %w", err)
 		}
 		t.MarkReclaimable()
 	}
@@ -261,53 +349,89 @@ func (db *DB) lazyOne(last int, t *pmtable.Table) {
 				break
 			}
 		}
-	}, func() {
-		// The paper's lazy memory freeing: every arena the absorbed
-		// table accumulated across its zero-copy merges is returned at
-		// once, after the last reader drains.
-		t.ReleaseRegions(db.nvm)
 	})
 	db.levelStats[last].merges++
 	db.levelStats[last].nodesMoved += t.Count()
 	db.levelStats[last].garbageBytes += t.Garbage()
-	db.logLazyDoneLocked(last, t.ID)
+	if err := db.logLazyDoneLocked(last, t.ID); err != nil {
+		// The durable manifest still lists the table in its level; its
+		// arenas must survive for recovery (re-absorbing on recovery is
+		// harmless — see Absorb's idempotence). Leak rather than lose.
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	// The paper's lazy memory freeing: every arena the absorbed table
+	// accumulated across its zero-copy merges is returned at once, after
+	// the last reader drains — and only now that the absorption is
+	// durably logged.
+	db.current.releaseFns = append(db.current.releaseFns, func() {
+		t.ReleaseRegions(db.nvm)
+	})
 	db.mu.Unlock()
 
-	db.maybeCompactRepo()
+	if err := db.maybeCompactRepo(); err != nil {
+		return err
+	}
 	db.st.AddCompaction(time.Since(start))
+	return nil
 }
 
 // maybeCompactRepo rebuilds the repository when superseded nodes dominate
 // it, bounding the NVM footprint of update-heavy workloads. Triggering
 // only when garbage exceeds 2× live data keeps the amortized extra write
 // traffic below 0.5× of the updates that created the garbage.
-func (db *DB) maybeCompactRepo() {
+func (db *DB) maybeCompactRepo() error {
 	db.mu.Lock()
 	repo := db.repo
+	compacting := db.repoCompacting
 	db.mu.Unlock()
-	if repo == nil {
-		return
+	if repo == nil || compacting {
+		return nil
 	}
 	garbage, live := repo.GarbageBytes(), repo.UserBytes()
 	if garbage < 4*db.opts.MemTableSize || garbage < 2*live {
-		return
+		return nil
 	}
 	db.mu.Lock()
 	db.repoCompacting = true
 	db.mu.Unlock()
-	fresh, err := repo.Compacted(db.opts.ChunkSize)
-	if err != nil {
-		panic(err)
+
+	// Gate before rebuilding (retry-safe); the rebuild itself runs at
+	// most once so a transient fault cannot leak half-built arenas.
+	var fresh *pmtable.Repository
+	err := db.gateNVMWrite(64)
+	if err == nil {
+		fresh, err = repo.Compacted(db.opts.ChunkSize)
 	}
+	if err != nil {
+		// Clear the latch on the failure path too: leaving it set would
+		// wedge WaitIdle and block any future rebuild for good.
+		db.mu.Lock()
+		db.repoCompacting = false
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return fmt.Errorf("repo compact: %w", err)
+	}
+
 	db.mu.Lock()
 	db.repoCompacting = false
 	old := db.repo
 	db.repo = fresh
 	db.editVersionLocked(func(v *version) {
 		v.repo = fresh
-	}, func() {
+	})
+	if err := db.logRepoSwapLocked(fresh.Region().Index(), uint64(fresh.Head())); err != nil {
+		// The durable manifest still points at the old repository; it
+		// must never be released (reads go through the fresh one, which
+		// holds the same live content).
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	db.current.releaseFns = append(db.current.releaseFns, func() {
 		old.Release()
 	})
-	db.logRepoSwapLocked(fresh.Region().Index(), uint64(fresh.Head()))
+	db.cond.Broadcast()
 	db.mu.Unlock()
+	return nil
 }

@@ -72,6 +72,9 @@ type DB struct {
 	repoCompacting bool           // a repository garbage rebuild is running
 	closed         bool
 	abandon        bool // simulated crash: background loops exit without draining
+	// bgErr is the sticky background error: once a background I/O path
+	// fails persistently the store degrades to read-only (see degrade.go).
+	bgErr error
 
 	manifest      *manifestLog
 	manifestEdits int          // delta records since the last snapshot
@@ -156,10 +159,19 @@ func Open(opts Options) (*DB, error) {
 	root.refs.Store(1)
 	db.current, db.oldest = root, root
 
-	db.writeManifestLocked()
+	if err := db.writeManifestLocked(); err != nil {
+		return nil, err
+	}
 	db.startBackground()
 	return db, nil
 }
+
+// Devices exposes the DRAM and NVM device models (fault-injection hooks
+// for tests and the torture harness).
+func (db *DB) Devices() (dram, nvmDev *nvm.Device) { return db.dram, db.nvm }
+
+// LastSeq returns the newest assigned sequence number.
+func (db *DB) LastSeq() uint64 { return db.seq.Load() }
 
 func (db *DB) applySimulation() {
 	db.dram.SetSimulation(db.opts.Simulate)
@@ -344,8 +356,8 @@ func (db *DB) commit(ops []batchOp) error {
 // a single WAL append framing every record, then bulk memtable inserts.
 // Callers hold commitMu, so rotation cannot interleave with the insert.
 func (db *DB) commitGroup(group []*groupWriter) error {
-	if db.isClosed() {
-		return ErrClosed
+	if err := db.writeGate(); err != nil {
+		return err
 	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
@@ -375,6 +387,20 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 			}
 		}
 		if err := mem.log.AppendBatch(recs); err != nil {
+			// A prefix of the group may be durably logged (all-or-prefix
+			// per run). Burn the whole group's sequence range so no later
+			// commit can reuse a sequence number a logged record already
+			// carries — replay must never see two records with one seq.
+			// The group is reported failed; its logged prefix may
+			// resurface after a crash as unacknowledged writes, the
+			// standard all-or-prefix contract.
+			db.seq.Store(firstSeq + uint64(nops) - 1)
+			if mem.log.Poisoned() {
+				// A torn prefix is on the media: nothing appended behind
+				// it could ever be replayed, so the store must stop
+				// acknowledging writes.
+				db.degrade("wal append", err)
+			}
 			return err
 		}
 	}
@@ -385,6 +411,18 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	for _, f := range group {
 		for _, op := range f.ops {
 			if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
+				// Every record is already durably logged: burn the whole
+				// range and keep the memtable's seq window covering what
+				// did land.
+				db.seq.Store(firstSeq + uint64(nops) - 1)
+				if seq > firstSeq {
+					if mem.minSeq == 0 {
+						mem.minSeq = firstSeq
+					}
+					if seq-1 > mem.maxSeq {
+						mem.maxSeq = seq - 1
+					}
+				}
 				return err
 			}
 			userBytes += int64(len(op.key) + len(op.value))
@@ -418,8 +456,8 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 
-	if db.isClosed() {
-		return ErrClosed
+	if err := db.writeGate(); err != nil {
+		return err
 	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
@@ -433,13 +471,35 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	seq := firstSeq
 	var userBytes int64
 	var puts, deletes int64
+	// finishPartial seals the bookkeeping of a batch that failed after
+	// part of it was logged/inserted: sequence numbers up to lastUsed are
+	// consumed forever (reuse would let replay see duplicate seqs), and
+	// the memtable's seq range must cover what was actually inserted.
+	finishPartial := func(lastUsed, lastInserted uint64) {
+		if lastUsed >= firstSeq {
+			db.seq.Store(lastUsed)
+		}
+		if lastInserted >= firstSeq {
+			if mem.minSeq == 0 {
+				mem.minSeq = firstSeq
+			}
+			if lastInserted > mem.maxSeq {
+				mem.maxSeq = lastInserted
+			}
+		}
+	}
 	for _, op := range ops {
 		if mem.log != nil {
 			if err := mem.log.Append(op.key, op.value, seq, op.kind); err != nil {
+				finishPartial(seq-1, seq-1)
+				if mem.log.Poisoned() {
+					db.degrade("wal append", err)
+				}
 				return err
 			}
 		}
 		if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
+			finishPartial(seq, seq-1)
 			return err
 		}
 		userBytes += int64(len(op.key) + len(op.value))
@@ -485,9 +545,12 @@ func (db *DB) makeRoomForWrite() error {
 		v.imms = append([]*memHandle{old}, v.imms...)
 		v.mem = fresh
 	})
-	db.logRotateLocked(fresh)
+	err = db.logRotateLocked(fresh)
 	db.mu.Unlock()
-	return nil
+	// A failed rotate record has already latched the store degraded (the
+	// fresh WAL region is unknown to the recoverable manifest, so writes
+	// into it could never be replayed); surface the refusal to the writer.
+	return err
 }
 
 // Get returns the newest live value for key. The search order follows the
@@ -643,7 +706,9 @@ func (db *DB) isClosed() bool {
 // read phases).
 func (db *DB) WaitIdle() {
 	db.mu.Lock()
-	for !db.idleLocked() && !db.closed {
+	// A degraded store's background loops have stopped: queued work will
+	// never drain, so waiting on it would hang forever.
+	for !db.idleLocked() && !db.closed && db.bgErr == nil {
 		db.cond.Wait()
 	}
 	db.mu.Unlock()
@@ -674,6 +739,10 @@ func (db *DB) idleLocked() bool {
 // in-flight group insert.
 func (db *DB) FlushAll() error {
 	db.commitMu.Lock()
+	if err := db.writeGate(); err != nil {
+		db.commitMu.Unlock()
+		return err
+	}
 	fresh, err := db.newMemHandle()
 	if err != nil {
 		db.commitMu.Unlock()
@@ -695,11 +764,14 @@ func (db *DB) FlushAll() error {
 		v.imms = append([]*memHandle{old}, v.imms...)
 		v.mem = fresh
 	})
-	db.logRotateLocked(fresh)
+	err = db.logRotateLocked(fresh)
 	db.mu.Unlock()
 	db.commitMu.Unlock()
+	if err != nil {
+		return err
+	}
 	db.WaitIdle()
-	return nil
+	return db.Err()
 }
 
 // Close drains background work and shuts the store down.

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"miodb/internal/nvm"
+)
+
+// TestPersistentFaultDegradesStore: a persistent device fault on the
+// write path must latch the store read-only — no panic, no partial
+// release — while reads keep serving every acknowledged update.
+func TestPersistentFaultDegradesStore(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	acked := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k, v := fmt.Sprintf("k%03d", i), fmt.Sprintf("v%03d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		acked[k] = v
+	}
+
+	// Persistent (non-transient) failures on every NVM write. FlushAll
+	// forces a rotation whose manifest record cannot land, and wakes the
+	// flusher whose device gate cannot pass — either path must latch the
+	// store degraded, never panic.
+	_, dev := db.Devices()
+	dev.SetFaultPlan(nvm.NewFaultPlan(3).FailWritesEvery(1))
+	if err := db.FlushAll(); err == nil {
+		t.Fatal("FlushAll succeeded with every device write failing")
+	}
+	db.WaitIdle()
+	if err := db.Err(); err == nil {
+		t.Fatal("DB.Err() == nil after persistent write faults")
+	} else if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("DB.Err() = %v, not wrapped in ErrDegraded", err)
+	}
+	if err := db.Put([]byte("more"), []byte("data")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put on degraded store: %v, want ErrDegraded", err)
+	}
+
+	// Reads must still serve everything that was acknowledged.
+	dev.SetFaultPlan(nil) // reads are never blocked, but keep it clean
+	for k, v := range acked {
+		got, err := db.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("degraded read %q = %q, %v (want %q)", k, got, err, v)
+		}
+	}
+}
+
+// TestTransientFaultsRetried: transient faults on background device
+// operations are absorbed by the retry/backoff policy — the store stays
+// healthy and records the retries in its stats.
+func TestTransientFaultsRetried(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	for i := 0; i < 300; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("somevalue")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every 4th device-write check fails transiently; retries succeed.
+	_, dev := db.Devices()
+	dev.SetFaultPlan(nvm.NewFaultPlan(11).FailWritesEvery(4).AllTransient())
+	defer dev.SetFaultPlan(nil)
+
+	if err := db.FlushAll(); err != nil {
+		t.Fatalf("FlushAll under transient faults: %v", err)
+	}
+	if err := db.Err(); err != nil {
+		t.Fatalf("store degraded by transient faults: %v", err)
+	}
+	if got := db.Stats().DeviceRetries; got == 0 {
+		t.Error("no device retries recorded despite injected transient faults")
+	}
+	for i := 0; i < 300; i += 37 {
+		k := fmt.Sprintf("k%04d", i)
+		if v, err := db.Get([]byte(k)); err != nil || string(v) != "somevalue" {
+			t.Fatalf("Get(%q) = %q, %v after retried flush", k, v, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"miodb/internal/pmtable"
@@ -13,14 +14,18 @@ import (
 // pointer swizzling + bloom build, all inside pmtable.Flush. The memtable
 // keeps serving reads until the version without it drains; only then are
 // its DRAM arena and WAL region released.
+//
+// A persistent device or manifest failure latches the store degraded and
+// stops the loop; the flushed-but-unreleased state is intentionally
+// leaked so the last recoverable manifest image stays self-consistent.
 func (db *DB) flushLoop() {
 	defer db.wg.Done()
 	for {
 		db.mu.Lock()
-		for len(db.current.imms) == 0 && !db.closed {
+		for len(db.current.imms) == 0 && !db.closed && db.bgErr == nil {
 			db.cond.Wait()
 		}
-		if db.abandon || (db.closed && len(db.current.imms) == 0) {
+		if db.abandon || db.bgErr != nil || (db.closed && len(db.current.imms) == 0) {
 			db.mu.Unlock()
 			return
 		}
@@ -28,12 +33,23 @@ func (db *DB) flushLoop() {
 		h := imms[len(imms)-1] // oldest
 		db.mu.Unlock()
 
-		db.flushOne(h)
+		if err := db.flushOne(h); err != nil {
+			db.degrade("flush", err)
+			return
+		}
 	}
 }
 
-func (db *DB) flushOne(h *memHandle) {
+func (db *DB) flushOne(h *memHandle) error {
 	start := time.Now()
+
+	// Gate the whole one-piece transfer on the device up front: the bulk
+	// copy and pointer swizzling inside pmtable.Flush are raw memory
+	// operations with no failure seam of their own.
+	if err := db.gateNVMWrite(int(h.mt.ApproximateBytes())); err != nil {
+		return fmt.Errorf("device: %w", err)
+	}
+
 	var table *pmtable.Table
 	if *db.opts.OnePieceFlush {
 		table = pmtable.Flush(db.nvm, h.mt, db.tableID.Add(1), h.minSeq, h.maxSeq, db.fp)
@@ -43,7 +59,7 @@ func (db *DB) flushOne(h *memHandle) {
 		// the cost profile Fig 12 attributes to NoveLSM/MatrixKV.
 		t, err := pmtable.Build(db.nvm, db.opts.ChunkSize, h.mt.NewIterator(), db.tableID.Add(1), db.fp)
 		if err != nil {
-			panic(err) // arena allocation cannot fail in simulation
+			return fmt.Errorf("build: %w", err)
 		}
 		t.MinSeq, t.MaxSeq = h.minSeq, h.maxSeq
 		table = t
@@ -57,16 +73,27 @@ func (db *DB) flushOne(h *memHandle) {
 		// newest-first).
 		v.imms = v.imms[:len(v.imms)-1]
 		v.levels[0] = append([]levelEntry{tableEntry{table}}, v.levels[0]...)
-	}, func() {
-		mt.Release()
-		if log != nil {
-			log.Release()
-		}
 	})
 	var walRegion uint32
 	if log != nil {
 		walRegion = log.Region().Index()
 	}
-	db.logFlushDoneLocked(tableToState(table), walRegion, log != nil)
+	if err := db.logFlushDoneLocked(tableToState(table), walRegion, log != nil); err != nil {
+		// The manifest still references the WAL region (and recovery
+		// would replay it): leak memtable and log rather than release
+		// state the recoverable image depends on.
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	// Only now — with the retirement durably logged — may the memtable
+	// arena and WAL region be queued for release once every reader
+	// version referencing them drains.
+	db.current.releaseFns = append(db.current.releaseFns, func() {
+		mt.Release()
+		if log != nil {
+			log.Release()
+		}
+	})
 	db.mu.Unlock()
+	return nil
 }

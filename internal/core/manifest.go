@@ -24,7 +24,19 @@ import (
 type manifestLog struct {
 	dev *nvm.Device
 	reg *vaddr.Region
+
+	// poisoned latches once a failed append left a torn prefix on the
+	// media: the last-intact-record scan stops there forever, so any
+	// further append could never be recovered. Appending to a poisoned
+	// manifest is refused with a persistent error.
+	poisoned bool
 }
+
+// errManifestPoisoned is deliberately persistent (it never carries the
+// transient marker) even when the underlying injected fault was
+// transient: a torn record is already on the media, and retrying an
+// append behind it would write state recovery can never see.
+var errManifestPoisoned = fmt.Errorf("manifest: log poisoned by torn append")
 
 const manifestChunk = 1 << 20
 
@@ -48,8 +60,13 @@ func (m *manifestLog) allocSlot() (vaddr.Addr, error) {
 	return a, nil
 }
 
-// append durably adds one state record.
+// append durably adds one state record, gated on the device fault plan.
+// An injected torn write persists exactly the torn prefix (recovery
+// discards it as a damaged tail) and poisons the log.
 func (m *manifestLog) append(payload []byte) error {
+	if m.poisoned {
+		return errManifestPoisoned
+	}
 	total := 8 + len(payload)
 	if total > m.reg.ChunkSize() {
 		return fmt.Errorf("manifest: record of %d bytes exceeds chunk %d", total, m.reg.ChunkSize())
@@ -58,6 +75,20 @@ func (m *manifestLog) append(payload []byte) error {
 	binary.LittleEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(payload))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
 	copy(buf[8:], payload)
+	if out := m.dev.CheckWrite(total); out.Err != nil {
+		if out.Torn > 0 {
+			torn := out.Torn
+			if torn > total {
+				torn = total
+			}
+			if addr, err := m.reg.Alloc(total); err == nil {
+				m.reg.Write(addr, buf[:torn])
+			}
+			m.poisoned = true
+			return fmt.Errorf("%w: %v", errManifestPoisoned, out.Err)
+		}
+		return fmt.Errorf("manifest: append: %w", out.Err)
+	}
 	addr, err := m.reg.Alloc(total)
 	if err != nil {
 		return err
@@ -69,13 +100,20 @@ func (m *manifestLog) append(payload []byte) error {
 // scan walks every intact record in order from scanFrom (the offset of
 // the first record, past the mark slots), invoking fn with each payload.
 // A zero header ends the log; a CRC mismatch discards the torn tail.
-func (m *manifestLog) scan(scanFrom int64, fn func(payload []byte) error) error {
+//
+// The returned tornAt/torn pair reports how the walk ended: torn=true
+// means it stopped at a damaged record (the signature of an append
+// interrupted mid-record) starting at offset tornAt, torn=false means a
+// clean zero-header EOF. Recovery uses the distinction to repair the
+// media (repairTornTail) — records appended behind torn garbage would
+// otherwise be invisible to every future scan.
+func (m *manifestLog) scan(scanFrom int64, fn func(payload []byte) error) (tornAt int64, torn bool, err error) {
 	chunk := int64(m.reg.ChunkSize())
 	off := scanFrom
 	size := m.reg.Size()
 	for {
 		if off+8 > size {
-			return nil
+			return 0, false, nil
 		}
 		if off/chunk != (off+8-1)/chunk {
 			off = (off + chunk - 1) / chunk * chunk
@@ -87,28 +125,55 @@ func (m *manifestLog) scan(scanFrom int64, fn func(payload []byte) error) error 
 		if crc == 0 && plen == 0 {
 			next := (off/chunk + 1) * chunk
 			if next+8 > size {
-				return nil
+				return 0, false, nil
 			}
 			nh := m.reg.Read(m.reg.Base().Add(next), 8)
 			if binary.LittleEndian.Uint32(nh[0:4]) == 0 && binary.LittleEndian.Uint32(nh[4:8]) == 0 {
-				return nil
+				return 0, false, nil
 			}
 			off = next
 			continue
 		}
 		total := 8 + plen
 		if plen <= 0 || off/chunk != (off+total-1)/chunk || off+total > size {
-			return nil
+			return off, true, nil
 		}
 		payload := m.reg.Read(m.reg.Base().Add(off+8), int(plen))
 		if crc32.ChecksumIEEE(payload) != crc {
-			return nil
+			return off, true, nil
 		}
 		if err := fn(payload); err != nil {
-			return err
+			return 0, false, err
 		}
 		off += (total + 7) &^ 7
 	}
+}
+
+// repairTornTail makes a manifest with a damaged tail appendable again.
+// A torn append leaves a partial record on the media; the scan stops
+// there forever, so a record appended behind it could never be recovered.
+// The repair zeroes everything from the damaged record to the current
+// allocation edge (idempotent — a crash mid-repair just leaves a shorter
+// damaged tail for the next attempt) and then pads the allocation to the
+// next chunk boundary, which is exactly where the scan's zero-header
+// probe looks for a continuation. Subsequent appends land there and are
+// reachable again.
+func (m *manifestLog) repairTornTail(tornAt int64) error {
+	size := m.reg.Size()
+	if tornAt < size {
+		n := size - tornAt
+		if out := m.dev.CheckWrite(int(n)); out.Err != nil {
+			return fmt.Errorf("manifest: tail repair: %w", out.Err)
+		}
+		m.reg.Write(m.reg.Base().Add(tornAt), make([]byte, n))
+	}
+	chunk := int64(m.reg.ChunkSize())
+	if rem := m.reg.Size() % chunk; rem != 0 {
+		if _, err := m.reg.Alloc(int(chunk - rem)); err != nil {
+			return fmt.Errorf("manifest: tail repair: %w", err)
+		}
+	}
+	return nil
 }
 
 // manifest state encoding. All integers little-endian, fixed width.
@@ -326,32 +391,44 @@ const (
 	snapshotEvery = 64
 )
 
-func (db *DB) appendManifestLocked(kind uint8, body func(e *encoder)) {
+// appendManifestLocked appends one delta record (or a rolling snapshot),
+// retrying transient device errors. A persistent failure latches the
+// store degraded and is returned: the caller must not queue the release
+// of any resource the failed record would have retired — the last
+// recoverable manifest state still references it.
+func (db *DB) appendManifestLocked(kind uint8, body func(e *encoder)) error {
 	db.manifestEdits++
 	if kind != recSnapshot && db.manifestEdits >= snapshotEvery {
 		// Roll a snapshot instead of the delta when it fits. Under an
 		// extreme table backlog a full snapshot can exceed the record
 		// cap — then we must keep appending deltas (replay just walks a
 		// longer chain) and retry the snapshot later.
-		if db.trySnapshotLocked() {
-			return
+		ok, err := db.trySnapshotLocked()
+		if err != nil {
+			db.degradeLocked("manifest snapshot", err)
+			return err
+		}
+		if ok {
+			return nil
 		}
 		db.manifestEdits = 0 // retry after another snapshotEvery edits
 	}
 	var e encoder
 	e.u8(kind)
 	body(&e)
-	if err := db.manifest.append(e.buf.Bytes()); err != nil {
-		panic(err)
+	if err := db.runDeviceOp(func() error { return db.manifest.append(e.buf.Bytes()) }); err != nil {
+		db.degradeLocked("manifest append", err)
+		return err
 	}
+	return nil
 }
 
 // logRotateLocked records a memtable rotation (new active WAL region).
-func (db *DB) logRotateLocked(h *memHandle) {
+func (db *DB) logRotateLocked(h *memHandle) error {
 	if h.log == nil {
-		return // nothing recoverable changed
+		return nil // nothing recoverable changed
 	}
-	db.appendManifestLocked(recRotate, func(e *encoder) {
+	return db.appendManifestLocked(recRotate, func(e *encoder) {
 		e.u32(h.log.Region().Index())
 		e.u64(db.seq.Load())
 	})
@@ -359,8 +436,8 @@ func (db *DB) logRotateLocked(h *memHandle) {
 
 // logFlushDoneLocked records a completed one-piece flush: the new L0
 // table and the retirement of its WAL region.
-func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool) {
-	db.appendManifestLocked(recFlushDone, func(e *encoder) {
+func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool) error {
+	return db.appendManifestLocked(recFlushDone, func(e *encoder) {
 		if hadWal {
 			e.u8(1)
 			e.u32(walRegion)
@@ -373,8 +450,8 @@ func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool) {
 
 // logMergeStartLocked records the pairing of the two oldest tables of a
 // level for zero-copy compaction.
-func (db *DB) logMergeStartLocked(level int, newID, oldID uint64) {
-	db.appendManifestLocked(recMergeStart, func(e *encoder) {
+func (db *DB) logMergeStartLocked(level int, newID, oldID uint64) error {
+	return db.appendManifestLocked(recMergeStart, func(e *encoder) {
 		e.u32(uint32(level))
 		e.u64(newID)
 		e.u64(oldID)
@@ -382,8 +459,8 @@ func (db *DB) logMergeStartLocked(level int, newID, oldID uint64) {
 }
 
 // logMergeDoneLocked records a completed merge and its result table.
-func (db *DB) logMergeDoneLocked(level int, newID, oldID uint64, result tableState) {
-	db.appendManifestLocked(recMergeDone, func(e *encoder) {
+func (db *DB) logMergeDoneLocked(level int, newID, oldID uint64, result tableState) error {
+	return db.appendManifestLocked(recMergeDone, func(e *encoder) {
 		e.u32(uint32(level))
 		e.u64(newID)
 		e.u64(oldID)
@@ -392,16 +469,16 @@ func (db *DB) logMergeDoneLocked(level int, newID, oldID uint64, result tableSta
 }
 
 // logLazyDoneLocked records a table absorbed into the repository.
-func (db *DB) logLazyDoneLocked(level int, tableID uint64) {
-	db.appendManifestLocked(recLazyDone, func(e *encoder) {
+func (db *DB) logLazyDoneLocked(level int, tableID uint64) error {
+	return db.appendManifestLocked(recLazyDone, func(e *encoder) {
 		e.u32(uint32(level))
 		e.u64(tableID)
 	})
 }
 
 // logRepoSwapLocked records a repository garbage compaction.
-func (db *DB) logRepoSwapLocked(region uint32, head uint64) {
-	db.appendManifestLocked(recRepoSwap, func(e *encoder) {
+func (db *DB) logRepoSwapLocked(region uint32, head uint64) error {
+	return db.appendManifestLocked(recRepoSwap, func(e *encoder) {
 		e.u32(region)
 		e.u64(head)
 	})
@@ -527,10 +604,11 @@ func (s *manifestState) applyDelta(kind uint8, d *decoder) error {
 }
 
 // replayManifest reads all records from scanFrom, folding deltas into the
-// most recent snapshot, and returns the reconstructed state.
-func (m *manifestLog) replayManifest(scanFrom int64) (*manifestState, error) {
+// most recent snapshot, and returns the reconstructed state plus the
+// scan's torn-tail report (tornAt/torn; see scan).
+func (m *manifestLog) replayManifest(scanFrom int64) (*manifestState, int64, bool, error) {
 	var state *manifestState
-	err := m.scan(scanFrom, func(payload []byte) error {
+	tornAt, torn, err := m.scan(scanFrom, func(payload []byte) error {
 		if len(payload) == 0 {
 			return fmt.Errorf("manifest: empty record")
 		}
@@ -549,28 +627,34 @@ func (m *manifestLog) replayManifest(scanFrom int64) (*manifestState, error) {
 		return state.applyDelta(kind, &decoder{b: body})
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	if state == nil {
-		return nil, fmt.Errorf("manifest: no intact snapshot record")
+		return nil, 0, false, fmt.Errorf("manifest: no intact snapshot record")
 	}
-	return state, nil
+	return state, tornAt, torn, nil
 }
 
-// writeManifestLocked snapshots the current structure into the superblock,
-// panicking if the snapshot cannot be written (only possible with an
-// absurd table backlog; the delta path handles that case instead).
-// Callers hold db.mu.
-func (db *DB) writeManifestLocked() {
-	if !db.trySnapshotLocked() {
-		panic("miodb: manifest snapshot exceeds record capacity")
+// writeManifestLocked snapshots the current structure into the
+// superblock. It fails if the snapshot cannot be written — a device
+// fault, or a snapshot exceeding the record capacity (only possible
+// with an absurd table backlog; the delta path handles that case
+// instead). Callers hold db.mu.
+func (db *DB) writeManifestLocked() error {
+	ok, err := db.trySnapshotLocked()
+	if err != nil {
+		return err
 	}
+	if !ok {
+		return fmt.Errorf("miodb: manifest snapshot exceeds record capacity")
+	}
+	return nil
 }
 
 // trySnapshotLocked writes a full-state snapshot record if it fits,
 // reporting success. SSD-mode table state lives in the lsm tree and is
 // not covered by crash recovery (see Recover).
-func (db *DB) trySnapshotLocked() bool {
+func (db *DB) trySnapshotLocked() (bool, error) {
 	s := &manifestState{
 		lastSeq:     db.seq.Load(),
 		nextTableID: db.tableID.Load(),
@@ -614,13 +698,13 @@ func (db *DB) trySnapshotLocked() bool {
 	}
 	payload := append([]byte{recSnapshot}, s.encode()...)
 	if len(payload)+8 > db.manifest.region().ChunkSize() {
-		return false
+		return false, nil
 	}
-	if err := db.manifest.append(payload); err != nil {
-		panic(err) // simulated NVM cannot fail; a failure is a bug
+	if err := db.runDeviceOp(func() error { return db.manifest.append(payload) }); err != nil {
+		return false, err
 	}
 	db.manifestEdits = 0
-	return true
+	return true, nil
 }
 
 func tableToState(t *pmtable.Table) tableState {

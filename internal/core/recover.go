@@ -84,9 +84,19 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	// Records start after the nil-address word and the mark slots laid
 	// down at original Open time.
 	scanFrom := int64(8 + 8*opts.Levels)
-	state, err := db.manifest.replayManifest(scanFrom)
+	state, tornAt, torn, err := db.manifest.replayManifest(scanFrom)
 	if err != nil {
 		return nil, fmt.Errorf("miodb: manifest replay: %w", err)
+	}
+	if torn {
+		// A crashed (or fault-injected) append left a partial record on
+		// the superblock. Appending behind it would write state no future
+		// scan could see; repair the tail before this recovery logs
+		// anything. The repair is idempotent, so a crash inside it leaves
+		// the image exactly as recoverable.
+		if err := db.manifest.repairTornTail(tornAt); err != nil {
+			return nil, fmt.Errorf("miodb: manifest repair: %w", err)
+		}
 	}
 	if len(state.levels) != opts.Levels {
 		return nil, fmt.Errorf("miodb: crash image has %d levels, options say %d",
@@ -97,6 +107,25 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	db.markSlots = make([]vaddr.Addr, len(state.markSlots))
 	for i, s := range state.markSlots {
 		db.markSlots[i] = vaddr.Addr(s)
+	}
+
+	// Every NVM resource this attempt allocates is tracked so a failed
+	// (or crashed-again) recovery releases it: the crash image must stay
+	// exactly as recoverable for the next attempt, with no fresh regions
+	// leaked into the space.
+	var freshHandles []*memHandle
+	var freshRepo *pmtable.Repository
+	fail := func(err error) (*DB, error) {
+		for _, h := range freshHandles {
+			h.mt.Release()
+			if h.log != nil {
+				h.log.Release()
+			}
+		}
+		if freshRepo != nil {
+			freshRepo.Release()
+		}
+		return nil, err
 	}
 
 	// Repository.
@@ -111,6 +140,7 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		freshRepo = repo
 		db.repo = repo
 	}
 
@@ -142,18 +172,18 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 			if !ent.isMerge {
 				t, err := attachTable(ent.table)
 				if err != nil {
-					return nil, err
+					return fail(err)
 				}
 				root.levels[level] = append(root.levels[level], tableEntry{t})
 				continue
 			}
 			newT, err := attachTable(ent.merge.newT)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			oldT, err := attachTable(ent.merge.oldT)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			m := pmtable.NewMerge(newT, oldT)
 			slot := vaddr.Addr(ent.merge.markSlot)
@@ -167,10 +197,22 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 
 	// Fresh memtable + WAL, then replay the crashed logs oldest-first,
 	// re-logging every entry so a second crash is equally recoverable.
+	//
+	// Replay rotates the memtable exactly like the foreground write path:
+	// when the live memtable fills, it is sealed into the immutable queue
+	// and a fresh handle takes over, so a crashed store whose logs hold
+	// more than one memtable's worth of updates recovers without
+	// overflowing the DRAM arena. Rotation during replay does NOT append
+	// rotate records to the manifest — the fresh WAL regions become known
+	// only through the full snapshot written below. Until that snapshot
+	// lands, a second crash replays the *old* WAL regions again (they are
+	// only released after the snapshot), so no update is duplicated or
+	// lost either way.
 	mem, err := db.newMemHandle()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
+	freshHandles = append(freshHandles, mem)
 	root.mem = mem
 	root.repo = db.repo
 	root.refs.Store(1)
@@ -182,7 +224,22 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 			continue // already released before the crash
 		}
 		log := wal.Attach(db.nvm, r)
-		err := log.Replay(func(key, value []byte, seq uint64, kind keys.Kind) error {
+		_, err := log.Replay(func(key, value []byte, seq uint64, kind keys.Kind) error {
+			if mem.mt.Full() {
+				fresh, err := db.newMemHandle()
+				if err != nil {
+					return err
+				}
+				freshHandles = append(freshHandles, fresh)
+				sealed := mem
+				db.mu.Lock()
+				db.editVersionLocked(func(v *version) {
+					v.imms = append([]*memHandle{sealed}, v.imms...)
+					v.mem = fresh
+				})
+				db.mu.Unlock()
+				mem = fresh
+			}
 			if mem.log != nil {
 				if err := mem.log.Append(key, value, seq, kind); err != nil {
 					return err
@@ -203,7 +260,7 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 
@@ -228,14 +285,40 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 		db.mu.Unlock()
 	}
 
+	// Publish the recovered state as one full snapshot. Until this
+	// append lands, the manifest still describes the pre-crash state and
+	// the old WAL regions are still live — a failure here (or a crash
+	// during it) leaves the image recoverable by a fresh attempt.
 	db.mu.Lock()
-	db.writeManifestLocked()
+	err = db.writeManifestLocked()
 	db.mu.Unlock()
+	if err != nil {
+		return fail(err)
+	}
 
 	// Old WAL regions are now redundant (content re-logged).
 	for _, ri := range state.walRegions {
 		if r := img.Space.Region(ri); r != nil {
 			db.nvm.Release(r)
+		}
+	}
+
+	// Orphan collection: the crashed run may have allocated regions it
+	// never published to the manifest — a table flushed just before the
+	// crash whose flush-done record didn't land, a half-built merge
+	// result, the crashed memtable arenas themselves. None of them are
+	// reachable from the recovered state, and on real NVM they would
+	// leak forever; release everything the recovered version does not
+	// reference (the analogue of LevelDB's stale-file deletion on open).
+	db.mu.Lock()
+	live, lerr := db.liveRegionsLocked()
+	db.mu.Unlock()
+	if lerr != nil {
+		return fail(lerr)
+	}
+	for _, r := range img.Space.Regions() {
+		if !live[r.Index()] {
+			img.Space.Release(r)
 		}
 	}
 

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"miodb/internal/nvm"
+)
+
+// TortureConfig drives RunTorture, the randomized crash-recovery
+// harness. The zero value of every field selects a sensible default.
+type TortureConfig struct {
+	// Seed makes the whole run deterministic: the same seed replays the
+	// same workload, the same fault plans, and the same crash points.
+	Seed int64
+	// Cycles is the number of crash/recover rounds (default 50).
+	Cycles int
+	// Ops is the target number of updates per cycle; an injected crash
+	// usually cuts a cycle short (default 400).
+	Ops int
+	// Opts overrides the store's structural options. The zero value uses
+	// a torture-tuned configuration (tiny memtables, 4 levels) so every
+	// cycle pushes data through flushes, zero-copy merges, and lazy
+	// copies before it crashes.
+	Opts *Options
+	// Log, when non-nil, receives one progress line per cycle.
+	Log io.Writer
+}
+
+// TortureReport summarizes a finished torture run.
+type TortureReport struct {
+	Cycles int
+	// OpsAcked counts updates whose Put/Delete returned nil — the
+	// updates recovery must never lose.
+	OpsAcked int64
+	// OpsUncertain counts updates cut off by an injected fault: the ack
+	// never arrived, so recovery may legitimately surface either the old
+	// or the new value.
+	OpsUncertain int64
+	// Resurrected counts uncertain updates that recovery proved durable
+	// (the WAL record beat the crash).
+	Resurrected int64
+	// KeysChecked counts post-recovery point lookups verified against
+	// the model.
+	KeysChecked int64
+	// CleanCrashes are cycles crashed with no fault injection (background
+	// work dropped mid-flight); ByteCrashes and OpCrashes are cycles cut
+	// by a byte-budget or op-count device crash trigger (torn tails on).
+	CleanCrashes, ByteCrashes, OpCrashes int
+	// DoubleCrashes counts recoveries that were themselves interrupted by
+	// an injected fault and had to run again from the same image.
+	DoubleCrashes int
+	// Degraded counts cycles where the store latched read-only before the
+	// simulated power failure (the expected outcome of a persistent
+	// injected fault).
+	Degraded int
+}
+
+func (r *TortureReport) String() string {
+	return fmt.Sprintf(
+		"torture: %d cycles, %d acked / %d uncertain ops (%d resurrected), "+
+			"%d lookups verified, crashes clean/byte/op %d/%d/%d, %d double, %d degraded",
+		r.Cycles, r.OpsAcked, r.OpsUncertain, r.Resurrected, r.KeysChecked,
+		r.CleanCrashes, r.ByteCrashes, r.OpCrashes, r.DoubleCrashes, r.Degraded)
+}
+
+// tortureOpts is the default structural configuration: tiny memtables so
+// a few hundred updates traverse the full flush/merge/lazy-copy pipeline
+// inside one cycle.
+func tortureOpts() Options {
+	return Options{
+		MemTableSize:   8 << 10,
+		ChunkSize:      32 << 10,
+		Levels:         4,
+		FilterCapacity: 1 << 12,
+	}
+}
+
+// pendingOp is the at-most-one update per cycle whose ack was cut off by
+// an injected fault. Recovery may surface either its value or the
+// previous state; the verifier accepts both and folds the observed
+// outcome back into the model.
+type pendingOp struct {
+	valid bool
+	key   string
+	val   string
+	del   bool
+}
+
+// RunTorture executes a randomized crash-torture run and verifies, after
+// every recovery, that:
+//
+//   - every acknowledged update is present (no acked write lost);
+//   - every unacknowledged update resolved to all-or-nothing;
+//   - deleted keys stay deleted (no resurrection);
+//   - the sequence counter never regressed below the newest acked update;
+//   - the store's structural invariants hold (CheckConsistency);
+//   - every NVM/DRAM region is reachable from the recovered state
+//     (CheckRegionAccounting — no leaks across crash/recover cycles).
+//
+// Crash points are randomized across three modes (clean power failure,
+// byte-budget device crash with torn tails, op-count device crash), and a
+// quarter of recoveries are themselves interrupted by a second injected
+// crash and retried from the same image — exercising the recovery path's
+// own crash consistency.
+func RunTorture(cfg TortureConfig) (*TortureReport, error) {
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 50
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 400
+	}
+	opts := tortureOpts()
+	if cfg.Opts != nil {
+		opts = *cfg.Opts
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &TortureReport{}
+
+	db, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if db != nil {
+			db.Close()
+		}
+	}()
+
+	const keyspace = 512
+	model := make(map[string]string) // acked live values
+	ever := make(map[string]bool)    // every key ever written
+	var pending pendingOp
+	var seqFloor uint64 // seq of the newest acked update
+
+	for cycle := 0; cycle < cfg.Cycles; cycle++ {
+		_, dev := db.Devices()
+
+		// Arm this cycle's crash mode.
+		switch m := rng.Intn(10); {
+		case m < 4:
+			budget := 1 + rng.Int63n(int64(cfg.Ops)*300)
+			dev.SetFaultPlan(nvm.NewFaultPlan(rng.Int63()).CrashAfterBytes(budget).TornWrites())
+			rep.ByteCrashes++
+		case m < 6:
+			n := 1 + rng.Intn(cfg.Ops*2)
+			dev.SetFaultPlan(nvm.NewFaultPlan(rng.Int63()).CrashAfterWrites(n).TornWrites())
+			rep.OpCrashes++
+		default:
+			dev.SetFaultPlan(nil)
+			rep.CleanCrashes++
+		}
+
+		// Write phase: sequential updates until the budget runs out or
+		// the injected crash cuts the ack path.
+		pending = pendingOp{}
+		for op := 0; op < cfg.Ops; op++ {
+			k := fmt.Sprintf("k%04d", rng.Intn(keyspace))
+			del := rng.Intn(10) == 0
+			var v string
+			var err error
+			if del {
+				err = db.Delete([]byte(k))
+			} else {
+				v = fmt.Sprintf("v-%s-c%d-o%d-%0*d", k, cycle, op, rng.Intn(90), 0)
+				err = db.Put([]byte(k), []byte(v))
+			}
+			if err != nil {
+				if dev.Faults() == nil {
+					return nil, fmt.Errorf("cycle %d op %d: write failed with no fault armed: %w", cycle, op, err)
+				}
+				pending = pendingOp{valid: true, key: k, val: v, del: del}
+				rep.OpsUncertain++
+				break
+			}
+			ever[k] = true
+			if del {
+				delete(model, k)
+			} else {
+				model[k] = v
+			}
+			rep.OpsAcked++
+			seqFloor = db.LastSeq()
+
+			// Occasional live read-back: before any crash, acked state
+			// must read back exactly.
+			if rng.Intn(24) == 0 {
+				probe := fmt.Sprintf("k%04d", rng.Intn(keyspace))
+				if err := verifyKey(db, probe, model, pendingOp{}); err != nil {
+					return nil, fmt.Errorf("cycle %d live probe: %w", cycle, err)
+				}
+			}
+		}
+		if db.Err() != nil {
+			rep.Degraded++
+		}
+
+		// Power failure, then recovery — sometimes interrupted by a
+		// second injected crash and retried from the same image.
+		img := db.CrashForTest()
+		db = nil
+		injectRecover := rng.Intn(4) == 0
+		for attempt := 0; ; attempt++ {
+			if attempt == 0 && injectRecover {
+				img.NVM.SetFaultPlan(nvm.NewFaultPlan(rng.Int63()).
+					CrashAfterBytes(1 + rng.Int63n(16<<10)).TornWrites())
+			} else {
+				img.NVM.SetFaultPlan(nil)
+			}
+			db, err = Recover(img, opts)
+			if err == nil {
+				break
+			}
+			if img.NVM.Faults() == nil {
+				return nil, fmt.Errorf("cycle %d: recover (attempt %d): %w", cycle, attempt, err)
+			}
+			rep.DoubleCrashes++
+		}
+		img.NVM.SetFaultPlan(nil)
+
+		// A fault plan armed before Recover may survive recovery with
+		// budget left and fire on post-recovery background work. If it
+		// latched the store, crash once more and recover clean.
+		db.WaitIdle()
+		if db.Err() != nil {
+			img = db.CrashForTest()
+			img.NVM.SetFaultPlan(nil)
+			db, err = Recover(img, opts)
+			if err != nil {
+				return nil, fmt.Errorf("cycle %d: clean re-recover: %w", cycle, err)
+			}
+			rep.DoubleCrashes++
+			db.WaitIdle()
+		}
+
+		// Verify: sequence floor, every key's value, structure, regions.
+		if got := db.LastSeq(); got < seqFloor {
+			return nil, fmt.Errorf("cycle %d: seq regressed: recovered %d < acked floor %d", cycle, got, seqFloor)
+		}
+		for k := range ever {
+			if err := verifyKey(db, k, model, pending); err != nil {
+				return nil, fmt.Errorf("cycle %d: %w", cycle, err)
+			}
+			rep.KeysChecked++
+		}
+		// Fold the pending op's observed outcome into the model.
+		if pending.valid {
+			got, err := db.Get([]byte(pending.key))
+			switch {
+			case pending.del && err == ErrNotFound:
+				delete(model, pending.key)
+				rep.Resurrected++ // the delete beat the crash
+			case !pending.del && err == nil && string(got) == pending.val:
+				model[pending.key] = pending.val
+				ever[pending.key] = true
+				rep.Resurrected++
+			}
+			pending = pendingOp{}
+		}
+		if err := db.CheckConsistency(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		if err := db.CheckRegionAccounting(); err != nil {
+			return nil, fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+
+		rep.Cycles++
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "torture cycle %3d: %d keys live, %d acked ops, seq %d\n",
+				cycle, len(model), rep.OpsAcked, db.LastSeq())
+		}
+	}
+	err = db.Close()
+	db = nil
+	if err != nil {
+		return nil, fmt.Errorf("final close: %w", err)
+	}
+	return rep, nil
+}
+
+// verifyKey checks one key against the model, honoring the at-most-one
+// pending (unacknowledged) op whose outcome is legitimately either-or.
+func verifyKey(db *DB, k string, model map[string]string, pending pendingOp) error {
+	got, err := db.Get([]byte(k))
+	if err != nil && err != ErrNotFound {
+		return fmt.Errorf("get %q: %w", k, err)
+	}
+	want, inModel := model[k]
+
+	if pending.valid && pending.key == k {
+		// Unacked op on this key: accept old state or new state.
+		if pending.del {
+			if err == ErrNotFound || (inModel && err == nil && string(got) == want) {
+				return nil
+			}
+			return fmt.Errorf("key %q after unacked delete: got %q, %v (want %q or not-found)", k, got, err, want)
+		}
+		if err == nil && string(got) == pending.val {
+			return nil // new value won
+		}
+		if inModel && err == nil && string(got) == want {
+			return nil // old value retained
+		}
+		if !inModel && err == ErrNotFound {
+			return nil // never existed, write fully lost
+		}
+		return fmt.Errorf("key %q after unacked put: got %q, %v (want %q, %q, or prior state)",
+			k, got, err, pending.val, want)
+	}
+
+	if inModel {
+		if err != nil {
+			return fmt.Errorf("acked key %q lost: %v (want %q)", k, err, want)
+		}
+		if string(got) != want {
+			return fmt.Errorf("acked key %q: got %q, want %q", k, got, want)
+		}
+		return nil
+	}
+	if err != ErrNotFound {
+		return fmt.Errorf("deleted key %q resurrected: got %q", k, got)
+	}
+	return nil
+}

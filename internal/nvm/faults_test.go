@@ -1,0 +1,175 @@
+package nvm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultPlanEveryN(t *testing.T) {
+	p := NewFaultPlan(1).FailWritesEvery(3)
+	var fails int
+	for i := 0; i < 9; i++ {
+		if out := p.CheckWrite(16); out.Err != nil {
+			fails++
+			if !errors.Is(out.Err, ErrInjected) {
+				t.Fatalf("want ErrInjected, got %v", out.Err)
+			}
+			if out.Torn >= 0 {
+				t.Fatalf("torn writes not enabled, got Torn=%d", out.Torn)
+			}
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("every-3rd over 9 ops: want 3 failures, got %d", fails)
+	}
+}
+
+func TestFaultPlanProbDeterministic(t *testing.T) {
+	run := func() []int64 {
+		p := NewFaultPlan(42).FailWritesProb(0.3)
+		var failedAt []int64
+		for i := int64(1); i <= 50; i++ {
+			if out := p.CheckWrite(8); out.Err != nil {
+				failedAt = append(failedAt, i)
+			}
+		}
+		return failedAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("p=0.3 over 50 ops should inject at least once")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFaultPlanTransientBudget(t *testing.T) {
+	p := NewFaultPlan(7).FailWritesEvery(1).TransientFirst(2)
+	for i := 0; i < 2; i++ {
+		out := p.CheckWrite(8)
+		if out.Err == nil || !IsTransient(out.Err) {
+			t.Fatalf("injection %d: want transient, got %v", i, out.Err)
+		}
+	}
+	out := p.CheckWrite(8)
+	if out.Err == nil || IsTransient(out.Err) {
+		t.Fatalf("after budget: want persistent, got %v", out.Err)
+	}
+}
+
+func TestFaultPlanAllTransient(t *testing.T) {
+	p := NewFaultPlan(7).FailWritesEvery(1).AllTransient()
+	for i := 0; i < 5; i++ {
+		out := p.CheckWrite(8)
+		if out.Err == nil || !IsTransient(out.Err) {
+			t.Fatalf("op %d: want transient, got %v", i, out.Err)
+		}
+	}
+}
+
+func TestFaultPlanCrashAfterWrites(t *testing.T) {
+	fired := 0
+	p := NewFaultPlan(3).CrashAfterWrites(3).SetOnCrash(func() { fired++ })
+	for i := 0; i < 2; i++ {
+		if out := p.CheckWrite(8); out.Err != nil {
+			t.Fatalf("op %d: premature failure %v", i, out.Err)
+		}
+	}
+	out := p.CheckWrite(8)
+	if !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("3rd op: want ErrCrashed, got %v", out.Err)
+	}
+	if IsTransient(out.Err) {
+		t.Fatal("crash must be persistent")
+	}
+	if fired != 1 {
+		t.Fatalf("OnCrash fired %d times", fired)
+	}
+	if !p.Crashed() {
+		t.Fatal("Crashed() false after trigger")
+	}
+	// Everything after the crash fails persistently, including reads.
+	if out := p.CheckWrite(8); !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", out.Err)
+	}
+	if err := p.CheckRead(8); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+	if fired != 1 {
+		t.Fatalf("OnCrash re-fired: %d", fired)
+	}
+}
+
+func TestFaultPlanCrashAfterBytes(t *testing.T) {
+	p := NewFaultPlan(9).CrashAfterBytes(100)
+	// 64 bytes fit: no failure.
+	if out := p.CheckWrite(64); out.Err != nil {
+		t.Fatalf("within budget: %v", out.Err)
+	}
+	// 64 more exceed the remaining 36: torn at exactly 36.
+	out := p.CheckWrite(64)
+	if !errors.Is(out.Err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", out.Err)
+	}
+	if out.Torn != 36 {
+		t.Fatalf("want torn prefix 36, got %d", out.Torn)
+	}
+	st := p.Stats()
+	if !st.Crashed || st.TornBytes != 36 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFaultPlanTornWrites(t *testing.T) {
+	p := NewFaultPlan(11).FailWritesEvery(1).TornWrites()
+	sawTorn := false
+	for i := 0; i < 32; i++ {
+		out := p.CheckWrite(128)
+		if out.Err == nil {
+			t.Fatal("every-1 must always fail")
+		}
+		if out.Torn < 0 || out.Torn > 128 {
+			t.Fatalf("torn out of range: %d", out.Torn)
+		}
+		if out.Torn > 0 {
+			sawTorn = true
+		}
+	}
+	if !sawTorn {
+		t.Fatal("32 torn injections produced no nonzero prefix")
+	}
+}
+
+func TestNilPlanFastPath(t *testing.T) {
+	var p *FaultPlan
+	if out := p.CheckWrite(8); out.Err != nil || out.Torn != -1 {
+		t.Fatalf("nil plan: %+v", out)
+	}
+	if err := p.CheckRead(8); err != nil {
+		t.Fatalf("nil plan read: %v", err)
+	}
+}
+
+func TestDeviceFaultHooks(t *testing.T) {
+	d := NewDevice(nil, DRAMProfile())
+	if out := d.CheckWrite(8); out.Err != nil {
+		t.Fatalf("no plan installed: %v", out.Err)
+	}
+	d.SetFaultPlan(NewFaultPlan(1).FailWritesEvery(1).FailReadsEvery(1))
+	if out := d.CheckWrite(8); out.Err == nil {
+		t.Fatal("plan installed but write passed")
+	}
+	if err := d.CheckRead(8); err == nil {
+		t.Fatal("plan installed but read passed")
+	}
+	d.SetFaultPlan(nil)
+	if out := d.CheckWrite(8); out.Err != nil {
+		t.Fatalf("plan removed: %v", out.Err)
+	}
+}

@@ -82,6 +82,13 @@ type Device struct {
 	// debt accumulates sub-granularity delays so tiny operations (8-byte
 	// pointer stores) are charged in aggregate instead of per-op spinning.
 	debt atomic.Int64
+
+	// faults, when non-nil, is consulted by the error-returning seams of
+	// the storage stack (WAL appends, manifest appends, flush/compaction
+	// entry points) via CheckWrite/CheckRead. The metering callbacks
+	// OnRead/OnWrite stay infallible: raw pointer stores into mapped NVM
+	// cannot fail on real hardware either.
+	faults atomic.Pointer[FaultPlan]
 }
 
 // NewDevice creates a device over the given space. Latency simulation
@@ -109,6 +116,23 @@ func (d *Device) SetSimulation(on bool) { d.simulate.Store(on) }
 // preserving relative costs.
 func (d *Device) SetTimeScale(scale float64) {
 	d.timeScaleMicro.Store(int64(scale * 1e6))
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+func (d *Device) SetFaultPlan(p *FaultPlan) { d.faults.Store(p) }
+
+// Faults returns the installed fault plan, or nil.
+func (d *Device) Faults() *FaultPlan { return d.faults.Load() }
+
+// CheckWrite gates an n-byte logical write against the fault plan. The
+// nil-plan fast path costs one atomic load.
+func (d *Device) CheckWrite(n int) WriteOutcome {
+	return d.faults.Load().CheckWrite(n)
+}
+
+// CheckRead gates an n-byte logical read against the fault plan.
+func (d *Device) CheckRead(n int) error {
+	return d.faults.Load().CheckRead(n)
 }
 
 // NewRegion allocates a fresh metered region on this device.

@@ -42,6 +42,10 @@ type Recorder struct {
 	// WAL appends.
 	writeGroups   atomic.Int64
 	groupedWrites atomic.Int64
+	// Robustness: transparently retried transient device errors, and
+	// background failures that latched the store into degraded mode.
+	deviceRetries    atomic.Int64
+	backgroundErrors atomic.Int64
 }
 
 // AddIntervalStall records a full write-path block of duration d.
@@ -120,6 +124,12 @@ func (r *Recorder) AddWriteGroup(n int) {
 	r.groupedWrites.Add(int64(n))
 }
 
+// AddDeviceRetry records one transparently retried transient device error.
+func (r *Recorder) AddDeviceRetry() { r.deviceRetries.Add(1) }
+
+// CountBackgroundError records a background failure that degraded the store.
+func (r *Recorder) CountBackgroundError() { r.backgroundErrors.Add(1) }
+
 // Reset zeroes every counter atomically, field by field. Unlike a struct
 // copy (`*r = Recorder{}`), it is safe while other goroutines are
 // concurrently updating the recorder: each atomic is stored individually,
@@ -142,6 +152,8 @@ func (r *Recorder) Reset() {
 	r.scans.Store(0)
 	r.writeGroups.Store(0)
 	r.groupedWrites.Store(0)
+	r.deviceRetries.Store(0)
+	r.backgroundErrors.Store(0)
 }
 
 // DeviceCounters mirrors a device's traffic in a snapshot.
@@ -173,6 +185,11 @@ type Snapshot struct {
 	GroupedWrites int64
 	MeanGroupSize float64
 
+	// DeviceRetries counts transient device errors absorbed by retry;
+	// BackgroundErrors counts failures that degraded the store.
+	DeviceRetries    int64
+	BackgroundErrors int64
+
 	// Devices lists per-device traffic; WriteAmplification is total
 	// persistent-device write traffic ÷ user bytes.
 	Devices            []DeviceCounters
@@ -192,6 +209,8 @@ func (r *Recorder) Snapshot() Snapshot {
 		WriteGroups:      groups,
 		GroupedWrites:    grouped,
 		MeanGroupSize:    mean,
+		DeviceRetries:    r.deviceRetries.Load(),
+		BackgroundErrors: r.backgroundErrors.Load(),
 		IntervalStall:    time.Duration(r.intervalStallNs.Load()),
 		IntervalStalls:   r.intervalStalls.Load(),
 		CumulativeStall:  time.Duration(r.cumulativeStallNs.Load()),

@@ -54,6 +54,10 @@ type Disk struct {
 
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+
+	// faults, when non-nil, gates file writes (torn-write truncation on
+	// injected failures) and reads, sharing the nvm fault vocabulary.
+	faults atomic.Pointer[nvm.FaultPlan]
 }
 
 type file struct {
@@ -77,6 +81,12 @@ func (d *Disk) SetTimeScale(scale float64) { d.scale.Store(int64(scale * 1e6)) }
 
 // Profile returns the device profile.
 func (d *Disk) Profile() nvm.Profile { return d.profile }
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+func (d *Disk) SetFaultPlan(p *nvm.FaultPlan) { d.faults.Store(p) }
+
+// Faults returns the installed fault plan, or nil.
+func (d *Disk) Faults() *nvm.FaultPlan { return d.faults.Load() }
 
 func (d *Disk) delay(lat time.Duration, nsPerByte float64, n int) {
 	if !d.simulate.Load() {
@@ -163,9 +173,23 @@ type Writer struct {
 	off  int64
 }
 
-// Write appends p, charging bandwidth; it never fails (the disk is
-// unbounded) but keeps the io.Writer shape for composability.
+// Write appends p, charging bandwidth. The disk is unbounded, so writes
+// only fail under fault injection: an injected failure may leave a torn
+// prefix of p on the media (per the plan's WriteOutcome) before
+// returning the error — the partial state recovery must tolerate.
 func (w *Writer) Write(p []byte) (int, error) {
+	if out := w.disk.faults.Load().CheckWrite(len(p)); out.Err != nil {
+		n := 0
+		if out.Torn > 0 {
+			n = out.Torn
+			w.disk.bytesWritten.Add(int64(n))
+			w.f.mu.Lock()
+			w.f.data = append(w.f.data, p[:n]...)
+			w.f.mu.Unlock()
+			w.off += int64(n)
+		}
+		return n, out.Err
+	}
 	w.disk.bytesWritten.Add(int64(len(p)))
 	w.disk.delay(0, w.disk.profile.WriteNanosPerByte, len(p))
 	w.f.mu.Lock()
@@ -201,6 +225,9 @@ func (r *Reader) Size() int64 {
 // bandwidth — the block-granularity cost MioDB's byte-addressable design
 // avoids.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	if err := r.disk.faults.Load().CheckRead(len(p)); err != nil {
+		return 0, err
+	}
 	r.disk.bytesRead.Add(int64(len(p)))
 	r.disk.delay(r.disk.profile.ReadLatency, r.disk.profile.ReadNanosPerByte, len(p))
 	r.f.mu.RLock()

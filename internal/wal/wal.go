@@ -35,6 +35,12 @@ type Log struct {
 	count  int64
 	bytes  int64
 	buf    []byte // reused encode buffer
+
+	// poisoned latches once a failed append left a torn prefix on the
+	// media: replay stops at that garbage record, so any further append
+	// would be unreachable after a crash. Callers must stop appending
+	// (rotate the log or degrade) once the log is poisoned.
+	poisoned bool
 }
 
 // New creates a log on the device. chunkSize bounds the largest record
@@ -57,6 +63,10 @@ func (l *Log) Count() int64 { return l.count }
 
 // Bytes returns the log's total appended bytes including framing.
 func (l *Log) Bytes() int64 { return l.bytes }
+
+// Poisoned reports whether a failed append left an unreadable torn
+// record on the media, making further appends unrecoverable.
+func (l *Log) Poisoned() bool { return l.poisoned }
 
 // Record is one update inside a batched append.
 type Record struct {
@@ -90,6 +100,9 @@ func encodeRecord(b []byte, key, value []byte, seq uint64, kind keys.Kind) int {
 // paper's "insertion of KV pairs that often incurs random memory accesses
 // can be performed in the fast DRAM".
 func (l *Log) Append(key, value []byte, seq uint64, kind keys.Kind) error {
+	if l.poisoned {
+		return fmt.Errorf("wal: log poisoned by earlier torn append")
+	}
 	total := recordTotal(key, value)
 	if total > l.region.ChunkSize() {
 		return fmt.Errorf("wal: record of %d bytes exceeds max %d", total, l.region.ChunkSize())
@@ -100,6 +113,16 @@ func (l *Log) Append(key, value []byte, seq uint64, kind keys.Kind) error {
 	b := l.buf[:total]
 	encodeRecord(b, key, value, seq, kind)
 
+	// Gate on the device's fault plan before touching the arena. The
+	// checked size is the 8-byte-aligned footprint — the same bytes
+	// AppendBatch charges for these records — so a byte-budget crash
+	// trigger tears the serial and batched paths at identical media
+	// offsets.
+	if out := l.dev.CheckWrite(int(alignUp8(int64(total)))); out.Err != nil {
+		l.tear(b, out.Torn)
+		return fmt.Errorf("wal: append: %w", out.Err)
+	}
+
 	addr, err := l.region.Alloc(total)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
@@ -108,6 +131,22 @@ func (l *Log) Append(key, value []byte, seq uint64, kind keys.Kind) error {
 	l.count++
 	l.bytes += int64(total)
 	return nil
+}
+
+// tear persists the first torn bytes of the encoded record b (an injected
+// torn write) and poisons the log. torn <= 0 persists nothing and leaves
+// the log clean: a fully-lost append is retryable.
+func (l *Log) tear(b []byte, torn int) {
+	if torn <= 0 {
+		return
+	}
+	if torn > len(b) {
+		torn = len(b)
+	}
+	if addr, err := l.region.Alloc(len(b)); err == nil {
+		l.region.Write(addr, b[:torn])
+	}
+	l.poisoned = true
 }
 
 // AppendBatch durably logs a group of updates — the WAL half of group
@@ -126,6 +165,9 @@ func (l *Log) Append(key, value []byte, seq uint64, kind keys.Kind) error {
 // path (all-or-prefix per group: a torn tail still truncates at the
 // first bad CRC).
 func (l *Log) AppendBatch(recs []Record) error {
+	if l.poisoned {
+		return fmt.Errorf("wal: log poisoned by earlier torn append")
+	}
 	chunk := int64(l.region.ChunkSize())
 	i := 0
 	for i < len(recs) {
@@ -174,6 +216,10 @@ func (l *Log) AppendBatch(recs []Record) error {
 			t := encodeRecord(b[pos:], recs[k].Key, recs[k].Value, recs[k].Seq, recs[k].Kind)
 			pos += alignUp8(int64(t))
 		}
+		if out := l.dev.CheckWrite(int(run)); out.Err != nil {
+			l.tear(b, out.Torn)
+			return fmt.Errorf("wal: append batch: %w", out.Err)
+		}
 		addr, err := l.region.Alloc(int(run))
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -188,10 +234,28 @@ func (l *Log) AppendBatch(recs []Record) error {
 
 func alignUp8(n int64) int64 { return (n + 7) &^ 7 }
 
+// ReplayStats summarizes one replay pass.
+type ReplayStats struct {
+	// Records and Bytes count the intact records delivered to fn and
+	// their framed (unaligned) sizes.
+	Records, Bytes int64
+	// TornTail is true when replay stopped at a damaged record — a CRC
+	// mismatch or a malformed/truncated header, the signature of a write
+	// interrupted mid-record — rather than at a clean zero-header EOF.
+	// Either way the prefix before the stop point is the recovered log.
+	TornTail bool
+}
+
 // Replay invokes fn for every intact record in order. It stops at the
 // first zero header (end of log) or CRC mismatch (torn tail write), which
 // is the standard recovery contract: a torn final record is discarded.
-func (l *Log) Replay(fn func(key, value []byte, seq uint64, kind keys.Kind) error) error {
+// The returned stats distinguish the two stop reasons.
+//
+// Replay is read-only and idempotent: it does not touch the log's
+// Count/Bytes counters, so a retried replay (e.g. after a mid-replay
+// error) observes the same log it saw the first time.
+func (l *Log) Replay(fn func(key, value []byte, seq uint64, kind keys.Kind) error) (ReplayStats, error) {
+	var st ReplayStats
 	chunk := int64(l.region.ChunkSize())
 	off := int64(0)
 	if l.region.Index() == 0 {
@@ -200,7 +264,7 @@ func (l *Log) Replay(fn func(key, value []byte, seq uint64, kind keys.Kind) erro
 	size := l.region.Size()
 	for {
 		if off+headerSize > size {
-			return nil
+			return st, nil
 		}
 		// Reproduce the allocator's straddle rule: a header crossing a
 		// chunk boundary means the record was placed at the next chunk.
@@ -216,39 +280,42 @@ func (l *Log) Replay(fn func(key, value []byte, seq uint64, kind keys.Kind) erro
 			// retry once from the next chunk boundary.
 			next := (off/chunk + 1) * chunk
 			if next == off {
-				return nil
+				return st, nil
 			}
 			if next+headerSize > size {
-				return nil
+				return st, nil
 			}
 			nh := l.region.Read(l.region.Base().Add(next), headerSize)
 			if binary.LittleEndian.Uint32(nh[0:4]) == 0 && binary.LittleEndian.Uint32(nh[4:8]) == 0 {
-				return nil
+				return st, nil
 			}
 			off = next
 			continue
 		}
 		total := headerSize + payloadLen
 		if payloadLen < 13 || off/chunk != (off+total-1)/chunk || off+total > size {
-			return nil // malformed tail
+			st.TornTail = true // malformed tail: interrupted mid-record
+			return st, nil
 		}
 		payload := l.region.Read(l.region.Base().Add(off+headerSize), int(payloadLen))
 		if crc32.ChecksumIEEE(payload) != crc {
-			return nil // torn write at the tail
+			st.TornTail = true // torn write at the tail
+			return st, nil
 		}
 		seq := binary.LittleEndian.Uint64(payload[0:8])
 		kind := keys.Kind(payload[8])
 		keyLen := int64(binary.LittleEndian.Uint32(payload[9:13]))
 		if 13+keyLen > payloadLen {
-			return nil
+			st.TornTail = true
+			return st, nil
 		}
 		key := payload[13 : 13+keyLen]
 		value := payload[13+keyLen:]
 		if err := fn(key, value, seq, kind); err != nil {
-			return err
+			return st, err
 		}
-		l.count++
-		l.bytes += total
+		st.Records++
+		st.Bytes += total
 		off += (total + 7) &^ 7
 	}
 }

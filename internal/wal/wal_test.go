@@ -21,16 +21,24 @@ type rec struct {
 }
 
 func replayAll(t *testing.T, l *Log) []rec {
+	out, _ := replayAllStats(t, l)
+	return out
+}
+
+func replayAllStats(t *testing.T, l *Log) ([]rec, ReplayStats) {
 	t.Helper()
 	var out []rec
-	err := l.Replay(func(k, v []byte, seq uint64, kind keys.Kind) error {
+	st, err := l.Replay(func(k, v []byte, seq uint64, kind keys.Kind) error {
 		out = append(out, rec{append([]byte(nil), k...), append([]byte(nil), v...), seq, kind})
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return out
+	if st.Records != int64(len(out)) {
+		t.Fatalf("ReplayStats.Records = %d, delivered %d", st.Records, len(out))
+	}
+	return out, st
 }
 
 func TestAppendReplayRoundTrip(t *testing.T) {
@@ -49,9 +57,12 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		}
 		want = append(want, rec{k, v, uint64(i + 1), kind})
 	}
-	got := replayAll(t, Attach(dev, l.Region()))
+	got, st := replayAllStats(t, Attach(dev, l.Region()))
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	if st.TornTail {
+		t.Error("ReplayStats.TornTail = true for a clean log")
 	}
 	for i := range want {
 		if !bytes.Equal(got[i].key, want[i].key) ||
@@ -116,9 +127,12 @@ func TestTornTailDiscarded(t *testing.T) {
 		t.Fatal(err)
 	}
 	region.Write(addr, []byte{0xff, 0xff, 0xff, 0xff, 40, 0, 0, 0, 1, 2, 3})
-	got := replayAll(t, Attach(dev, region))
+	got, st := replayAllStats(t, Attach(dev, region))
 	if len(got) != 10 {
 		t.Fatalf("replay returned %d records, want 10 (torn tail dropped)", len(got))
+	}
+	if !st.TornTail {
+		t.Error("ReplayStats.TornTail = false for a corrupted tail")
 	}
 }
 
@@ -130,7 +144,7 @@ func TestReplayErrorPropagates(t *testing.T) {
 	}
 	wantErr := fmt.Errorf("boom")
 	n := 0
-	err := Attach(dev, l.Region()).Replay(func(_, _ []byte, _ uint64, _ keys.Kind) error {
+	_, err := Attach(dev, l.Region()).Replay(func(_, _ []byte, _ uint64, _ keys.Kind) error {
 		n++
 		if n == 3 {
 			return wantErr

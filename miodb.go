@@ -39,6 +39,12 @@ var ErrNotFound = core.ErrNotFound
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = core.ErrClosed
 
+// ErrDegraded wraps the first background failure once a store has latched
+// itself read-only: writes are refused, reads keep serving the last
+// consistent state. errors.Is(err, ErrDegraded) identifies the mode; Err
+// returns the latched cause.
+var ErrDegraded = core.ErrDegraded
+
 // Options configures a store. The zero value (or nil) uses the paper's
 // configuration scaled for a single machine: 64 KB MemTables, 8
 // elastic-buffer levels, 16 bloom bits per key, WAL on.
@@ -157,6 +163,12 @@ func OpenImage(path string, opts *Options) (*DB, error) {
 
 // Stats returns the store's cost accounting.
 func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+// Err reports the store's latched background error, if any. A non-nil
+// result wraps ErrDegraded: a flush, compaction, or manifest append hit a
+// persistent device fault, the store refused to release any state the
+// last recoverable image depends on, and it now serves reads only.
+func (db *DB) Err() error { return db.inner.Err() }
 
 // Close drains background work and shuts the store down. Callers must
 // stop issuing operations first.
