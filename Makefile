@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent repro clean
+.PHONY: all build vet test race check torture bench-concurrent bench-readscale profile repro clean
 
 all: check
 
@@ -30,6 +30,24 @@ check: vet build test race torture
 # Multi-writer throughput sweep (group commit vs serialized vs baselines).
 bench-concurrent:
 	$(GO) test ./internal/bench -run xxx -bench ConcurrentWrites -benchtime 1x
+
+# Multi-reader throughput sweep (epoch-pinned reads vs mutex-refcount
+# ablation, read-only + YCSB-B/C mixes, 1..16 threads).
+bench-readscale:
+	$(GO) test ./internal/bench -run xxx -bench ConcurrentReads -benchtime 1x
+
+# Capture mutex/block contention profiles from 8-thread read-only
+# readscale runs of both read-path arms (epoch-pinned and the
+# mutex-refcount ablation, so the removed db.mu contention is visible
+# side by side). Inspect with:
+#   go tool pprof profiles/readscale.test profiles/mutex.out
+#   go tool pprof profiles/readscale.test profiles/block.out
+profile:
+	mkdir -p profiles
+	$(GO) test ./internal/bench -run xxx \
+		-bench 'ConcurrentReads/readonly/miodb/threads=8' -benchtime 1x \
+		-mutexprofile mutex.out -blockprofile block.out \
+		-outputdir $(CURDIR)/profiles -o profiles/readscale.test
 
 # Regenerate every paper table/figure (about an hour at full scale).
 repro:

@@ -30,10 +30,11 @@ func main() {
 		levels     = flag.Int("levels", 8, "miodb elastic-buffer levels")
 		ssd        = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		seed       = flag.Int64("seed", 1, "workload seed")
-		threads    = flag.Int("threads", 1, "concurrent writer goroutines for fill benchmarks")
+		threads    = flag.Int("threads", 1, "concurrent goroutines for fill and readrandom benchmarks")
 		batch      = flag.Int("batch", 1, "client-side batch size for concurrent fills (uses MPUT-style batches when > 1)")
 		zipfian    = flag.Bool("zipfian", false, "use zipfian keys for concurrent fills (default uniform)")
 		noGroup    = flag.Bool("no_group_commit", false, "disable miodb's group-commit pipeline (serialized write path)")
+		mutexReads = flag.Bool("mutex_reads", false, "disable miodb's lock-free read path (mutex-refcount version pinning)")
 	)
 	flag.Parse()
 	if *reads <= 0 {
@@ -49,6 +50,9 @@ func main() {
 	}
 	if *noGroup {
 		cfg.GroupCommit = core.Bool(false)
+	}
+	if *mutexReads {
+		cfg.EpochReads = core.Bool(false)
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {
@@ -93,11 +97,20 @@ func main() {
 			report("readseq", r)
 		case "readrandom":
 			exitOn(s.Flush())
-			r, misses, err := bench.ReadRandom(s, *reads, uint64(*num), *seed+1)
-			exitOn(err)
-			report("readrandom", r)
-			if misses > 0 {
-				fmt.Printf("  (%d of %d reads missed — fillrandom leaves key gaps)\n", misses, *reads)
+			if *threads > 1 {
+				r, misses, err := bench.ConcurrentReadRandom(s, *reads, uint64(*num), *seed+1, *threads)
+				exitOn(err)
+				report(fmt.Sprintf("readrandom×%d", *threads), r)
+				if misses > 0 {
+					fmt.Printf("  (%d of %d reads missed — fillrandom leaves key gaps)\n", misses, *reads)
+				}
+			} else {
+				r, misses, err := bench.ReadRandom(s, *reads, uint64(*num), *seed+1)
+				exitOn(err)
+				report("readrandom", r)
+				if misses > 0 {
+					fmt.Printf("  (%d of %d reads missed — fillrandom leaves key gaps)\n", misses, *reads)
+				}
 			}
 		case "stats":
 			st := s.Stats()
@@ -107,6 +120,21 @@ func main() {
 			if st.WriteGroups > 0 {
 				fmt.Printf("  group commit: %d groups / %d writes (mean group size %.2f)\n",
 					st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)
+			}
+			if st.BloomProbes > 0 {
+				fmt.Printf("  bloom: probes=%d skips=%d false-positives=%d measured-fp-rate=%.4f\n",
+					st.BloomProbes, st.BloomSkips, st.BloomFalsePositives, st.BloomFalsePositiveRate)
+				for _, bl := range st.BloomLevels {
+					if bl.Probes == 0 {
+						continue
+					}
+					fmt.Printf("    level %d: probes=%d skips=%d fps=%d hits=%d fp-rate=%.4f\n",
+						bl.Level, bl.Probes, bl.Skips, bl.FalsePositives, bl.Hits, bl.FalsePositiveRate)
+				}
+			}
+			if st.LiveVersions > 0 {
+				fmt.Printf("  versions: live=%d pending-releases=%d epoch=%d swept=%d\n",
+					st.LiveVersions, st.PendingReleases, st.ReadEpoch, st.VersionsSwept)
 			}
 			for _, d := range st.Devices {
 				fmt.Printf("  device %-10s written=%dKB read=%dKB\n", d.Name, d.BytesWritten>>10, d.BytesRead>>10)

@@ -60,6 +60,7 @@ type Config struct {
 	ZeroCopyMerge      *bool
 	OnePieceFlush      *bool
 	GroupCommit        *bool
+	EpochReads         *bool
 	DisableBloom       bool
 	DisableWAL         bool
 }
@@ -129,6 +130,7 @@ func OpenStore(c Config) (Store, error) {
 			ZeroCopyMerge:      c.ZeroCopyMerge,
 			OnePieceFlush:      c.OnePieceFlush,
 			GroupCommit:        c.GroupCommit,
+			EpochReads:         c.EpochReads,
 			DisableWAL:         c.DisableWAL,
 		}
 		if c.DisableBloom {

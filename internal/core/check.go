@@ -21,8 +21,9 @@ import (
 // (tables are immutable once settled), but callers should quiesce the
 // store first (WaitIdle) for a meaningful full check.
 func (db *DB) CheckConsistency() error {
-	v := db.acquireVersion()
-	defer db.releaseVersion(v)
+	pin := db.acquireVersion()
+	defer db.releaseVersion(pin)
+	v := pin.v
 
 	prevLevelMin := uint64(1) << 62
 	for level, entries := range v.levels {
@@ -95,8 +96,15 @@ func (db *DB) CheckConsistency() error {
 func (db *DB) CheckRegionAccounting() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// The no-op edit retires the current version (freezing its release
+	// queue onto the chain) and, in epoch mode, runs a blocking
+	// advance-and-sweep: with no concurrent readers announced, both epoch
+	// advances succeed and the whole chain drains synchronously.
 	db.editVersionLocked(func(*version) {})
-	if db.oldest != db.current {
+	db.sweepMu.Lock()
+	drained := db.oldest == db.current.Load()
+	db.sweepMu.Unlock()
+	if !drained {
 		return fmt.Errorf("check: version chain not drained; quiesce first")
 	}
 	live, err := db.liveRegionsLocked()
@@ -123,7 +131,7 @@ func (db *DB) CheckRegionAccounting() error {
 // must hold no in-flight merges (its entries must all be tableEntry).
 func (db *DB) liveRegionsLocked() (map[uint32]bool, error) {
 	live := map[uint32]bool{db.manifest.region().Index(): true}
-	v := db.current
+	v := db.current.Load()
 	addMem := func(h *memHandle) {
 		live[h.mt.Region().Index()] = true
 		if h.log != nil {

@@ -89,7 +89,7 @@ func (db *DB) levelNeedsMergeLocked(level int) bool {
 		return false
 	}
 	n := 0
-	for _, e := range db.current.levels[level] {
+	for _, e := range db.current.Load().levels[level] {
 		if _, ok := e.(tableEntry); ok {
 			n++
 		}
@@ -122,7 +122,7 @@ func (db *DB) mergeOnce(level int) error {
 	// Pick the two oldest settled tables (the tail of the newest-first
 	// list) and replace them by a merge entry readers know how to probe.
 	db.mu.Lock()
-	entries := db.current.levels[level]
+	entries := db.current.Load().levels[level]
 	if db.mergeActiveLocked(level) || len(entries) < 2 {
 		db.mu.Unlock()
 		return nil
@@ -246,7 +246,7 @@ func (db *DB) mergeOnce(level int) error {
 		// Copy-merge ablation: the source arenas are now unreferenced by
 		// the durable manifest; queue them for release once every reader
 		// version referencing the pair drains.
-		db.current.releaseFns = append(db.current.releaseFns, release)
+		db.queueReleaseLocked(release)
 	}
 	db.mu.Unlock()
 
@@ -292,7 +292,7 @@ func (db *DB) lazyLoop() {
 			db.mu.Unlock()
 			return
 		}
-		entries := db.current.levels[last]
+		entries := db.current.Load().levels[last]
 		e := entries[len(entries)-1].(tableEntry) // oldest
 		db.mu.Unlock()
 
@@ -306,7 +306,7 @@ func (db *DB) lazyLoop() {
 // lazyWorkLocked reports whether the bottom buffer level has a settled
 // table to absorb.
 func (db *DB) lazyWorkLocked(last int) bool {
-	entries := db.current.levels[last]
+	entries := db.current.Load().levels[last]
 	if len(entries) == 0 {
 		return false
 	}
@@ -364,7 +364,7 @@ func (db *DB) lazyOne(last int, t *pmtable.Table) error {
 	// accumulated across its zero-copy merges is returned at once, after
 	// the last reader drains — and only now that the absorption is
 	// durably logged.
-	db.current.releaseFns = append(db.current.releaseFns, func() {
+	db.queueReleaseLocked(func() {
 		t.ReleaseRegions(db.nvm)
 	})
 	db.mu.Unlock()
@@ -428,7 +428,7 @@ func (db *DB) maybeCompactRepo() error {
 		db.mu.Unlock()
 		return fmt.Errorf("manifest: %w", err)
 	}
-	db.current.releaseFns = append(db.current.releaseFns, func() {
+	db.queueReleaseLocked(func() {
 		old.Release()
 	})
 	db.cond.Broadcast()

@@ -266,7 +266,7 @@ func TestLevelSeqOrderingInvariant(t *testing.T) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	prevMin := uint64(1 << 62)
-	for level, entries := range db.current.levels {
+	for level, entries := range db.current.Load().levels {
 		for _, e := range entries {
 			te, ok := e.(tableEntry)
 			if !ok {

@@ -63,10 +63,37 @@ type DB struct {
 	seq     atomic.Uint64
 	tableID atomic.Uint64
 
-	// mu guards the version chain and all structural state below.
+	// current publishes the installed version snapshot to the lock-free
+	// read path; it is written only under db.mu (editVersionLocked) but
+	// read by anyone. See epoch.go for the reclamation protocol.
+	current atomic.Pointer[version]
+
+	// Epoch-based reader reclamation (epoch.go). epochReads selects the
+	// lock-free read path; false restores the seed's mutex-refcount
+	// acquire/release as a measurable ablation.
+	epochReads   bool
+	epoch        atomic.Uint64
+	epochSlots   []epochSlot
+	gracePending atomic.Int64 // retired versions awaiting their grace period
+	// sweepMu serializes grace-period sweeps and guards db.oldest in
+	// epoch mode. Lock order: db.mu → sweepMu (readers take sweepMu
+	// alone, and only via TryLock).
+	sweepMu sync.Mutex
+
+	// closedFlag mirrors db.closed for the lock-free read path: readers
+	// check it before and after pinning a version, so Close (which waits
+	// for reader epochs to drain before tearing the store down) is never
+	// raced by a late snapshot.
+	closedFlag atomic.Bool
+
+	// readLevels holds the per-level read-path observability counters
+	// (bloom probes/skips/false positives, hits); indexed like levels,
+	// updated lock-free by readers.
+	readLevels []readLevelWork
+
+	// mu guards the version-chain edits and all structural state below.
 	mu             sync.Mutex
 	cond           *sync.Cond
-	current        *version
 	oldest         *version
 	merges         []*activeMerge // at most one per level
 	repoCompacting bool           // a repository garbage rebuild is running
@@ -89,6 +116,23 @@ type levelWork struct {
 	merges       int64
 	nodesMoved   int64
 	garbageBytes int64
+}
+
+// readLevelWork accumulates one elastic-buffer level's read-path counters,
+// updated lock-free by concurrent readers. Padded so the per-level hot
+// counters of adjacent levels do not share a cache line.
+type readLevelWork struct {
+	// probes counts tables whose filter was consulted for a Get.
+	probes atomic.Int64
+	// skips counts probes the bloom filter answered "definitely absent"
+	// for, saving a list search.
+	skips atomic.Int64
+	// falsePositives counts probes that passed the filter but found no
+	// key in the table — the measured (not theoretical) FP cost.
+	falsePositives atomic.Int64
+	// hits counts Gets satisfied at this level.
+	hits atomic.Int64
+	_    [128 - 4*8]byte
 }
 
 type activeMerge struct {
@@ -114,6 +158,8 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.levelStats = make([]levelWork, opts.Levels)
+	db.readLevels = make([]readLevelWork, opts.Levels)
+	db.initEpochs()
 	db.applySimulation()
 
 	// The superblock/manifest occupies the space's first region so that
@@ -151,13 +197,12 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	root := &version{
-		mem:    mem,
-		levels: make([][]levelEntry, opts.Levels),
-		repo:   db.repo,
-	}
-	root.refs.Store(1)
-	db.current, db.oldest = root, root
+	root := newRootVersion()
+	root.mem = mem
+	root.levels = make([][]levelEntry, opts.Levels)
+	root.repo = db.repo
+	db.current.Store(root)
+	db.oldest = root
 
 	if err := db.writeManifestLocked(); err != nil {
 		return nil, err
@@ -363,9 +408,9 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 		return err
 	}
 
-	db.mu.Lock()
-	mem := db.current.mem
-	db.mu.Unlock()
+	// commitMu (held by every caller) also serializes rotation, so the
+	// installed version's memtable is stable for the whole commit.
+	mem := db.current.Load().mem
 
 	nops := 0
 	for _, f := range group {
@@ -463,9 +508,7 @@ func (db *DB) commitSerial(ops []batchOp) error {
 		return err
 	}
 
-	db.mu.Lock()
-	mem := db.current.mem
-	db.mu.Unlock()
+	mem := db.current.Load().mem
 
 	firstSeq := db.seq.Load() + 1
 	seq := firstSeq
@@ -529,10 +572,7 @@ func (db *DB) commitSerial(ops []batchOp) error {
 // under a group insert. Because every level of the elastic buffer is
 // unbounded, rotation never waits on flushing or compaction progress.
 func (db *DB) makeRoomForWrite() error {
-	db.mu.Lock()
-	full := db.current.mem.mt.Full()
-	db.mu.Unlock()
-	if !full {
+	if !db.current.Load().mem.mt.Full() {
 		return nil
 	}
 	fresh, err := db.newMemHandle()
@@ -540,7 +580,7 @@ func (db *DB) makeRoomForWrite() error {
 		return err
 	}
 	db.mu.Lock()
-	old := db.current.mem
+	old := db.current.Load().mem
 	db.editVersionLocked(func(v *version) {
 		v.imms = append([]*memHandle{old}, v.imms...)
 		v.mem = fresh
@@ -558,13 +598,25 @@ func (db *DB) makeRoomForWrite() error {
 // levels top-down (bloom-filtered) → repository (or SSD levels). Any
 // table in level i holds strictly newer data than any table in level i+1,
 // so the first hit wins.
+//
+// The whole lookup is lock-free with respect to db.mu: the version pin
+// comes from the striped epoch machinery (epoch.go), so concurrent
+// readers never serialize against writers, the flusher, or compaction
+// threads. The closed flag is re-validated after pinning — Close latches
+// it and then waits for reader epochs to drain, so a reader that slips
+// past the first check either bails here or finishes against a snapshot
+// Close has not torn down yet.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	if db.isClosed() {
+	if db.closedFlag.Load() {
 		return nil, ErrClosed
 	}
 	db.st.CountGet()
-	v := db.acquireVersion()
-	defer db.releaseVersion(v)
+	pin := db.acquireVersion()
+	defer db.releaseVersion(pin)
+	if db.closedFlag.Load() {
+		return nil, ErrClosed
+	}
+	v := pin.v
 
 	if value, _, kind, ok := v.mem.mt.Get(key); ok {
 		return finishGet(value, kind)
@@ -574,14 +626,42 @@ func (db *DB) Get(key []byte) ([]byte, error) {
 			return finishGet(value, kind)
 		}
 	}
-	for _, level := range v.levels {
+	for li, level := range v.levels {
+		// Accumulate this level's filter accounting locally and publish
+		// once per touched level: one or two atomic adds per Get instead
+		// of one per table probed.
+		var probes, skips, fps int64
+		var value []byte
+		var kind keys.Kind
+		hit := false
 		for _, e := range level {
+			probes++
 			if !e.mayContain(key) {
+				skips++
 				continue
 			}
-			if value, _, kind, ok := e.get(key); ok {
-				return finishGet(value, kind)
+			var ok bool
+			if value, _, kind, ok = e.get(key); ok {
+				hit = true
+				break
 			}
+			fps++
+		}
+		if probes > 0 {
+			rl := &db.readLevels[li]
+			rl.probes.Add(probes)
+			if skips > 0 {
+				rl.skips.Add(skips)
+			}
+			if fps > 0 {
+				rl.falsePositives.Add(fps)
+			}
+			if hit {
+				rl.hits.Add(1)
+			}
+		}
+		if hit {
+			return finishGet(value, kind)
 		}
 	}
 	if v.repo != nil {
@@ -609,14 +689,19 @@ func finishGet(value []byte, kind keys.Kind) ([]byte, error) {
 // Iterator walks the store's live keys in order (newest version of each
 // key, tombstones hidden).
 type Iterator struct {
-	db  *DB
-	v   *version
-	it  iterx.Iterator
-	err error
+	db     *DB
+	pin    versionPin
+	pinned bool
+	it     iterx.Iterator
+	err    error
 }
 
 // NewIterator returns an iterator over a consistent-as-possible snapshot
-// of the store. The iterator pins a version; Close releases it.
+// of the store. The iterator pins a version (an epoch pin — an open
+// iterator holds its reader epoch, delaying reclamation exactly like an
+// RCU read-side critical section); Close releases it. Callers must Close
+// every iterator before closing the store: DB.Close waits for reader
+// epochs to drain.
 //
 // Scans taken while a zero-copy merge is mid-flight may observe a key's
 // version through either of the merging tables — the Visible wrapper
@@ -624,7 +709,17 @@ type Iterator struct {
 // key is skipped.
 func (db *DB) NewIterator() *Iterator {
 	db.st.CountScan()
-	v := db.acquireVersion()
+	if db.closedFlag.Load() {
+		return &Iterator{db: db, it: iterx.NewMerging(), err: ErrClosed}
+	}
+	pin := db.acquireVersion()
+	if db.closedFlag.Load() {
+		// Close latched between the pre-check and the pin; back out so
+		// the drain in Close is not held up by a doomed iterator.
+		db.releaseVersion(pin)
+		return &Iterator{db: db, it: iterx.NewMerging(), err: ErrClosed}
+	}
+	v := pin.v
 	sources := []iterx.Iterator{v.mem.mt.NewIterator()}
 	for _, imm := range v.imms {
 		sources = append(sources, imm.mt.NewIterator())
@@ -641,9 +736,10 @@ func (db *DB) NewIterator() *Iterator {
 		sources = append(sources, db.ssd.Iterators()...)
 	}
 	return &Iterator{
-		db: db,
-		v:  v,
-		it: iterx.NewVisible(iterx.NewMerging(sources...)),
+		db:     db,
+		pin:    pin,
+		pinned: true,
+		it:     iterx.NewVisible(iterx.NewMerging(sources...)),
 	}
 }
 
@@ -665,23 +761,28 @@ func (it *Iterator) Key() []byte { return it.it.Key() }
 // Value returns the current value (valid until Next/Close).
 func (it *Iterator) Value() []byte { return it.it.Value() }
 
+// Err returns the iterator's sticky error (ErrClosed when the iterator
+// was opened against a closed store).
+func (it *Iterator) Err() error { return it.err }
+
 // Close releases the iterator's version pin.
 func (it *Iterator) Close() {
-	if it.v != nil {
-		it.db.releaseVersion(it.v)
-		it.v = nil
+	if it.pinned {
+		it.db.releaseVersion(it.pin)
+		it.pinned = false
 	}
 }
 
 // Scan invokes fn for up to limit live keys starting at start, stopping
 // early if fn returns false. limit ≤ 0 means no limit. The slices passed
 // to fn alias store memory and are only valid during the callback.
+// Like Get, the scan never touches db.mu.
 func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
-	if db.isClosed() {
-		return ErrClosed
-	}
 	it := db.NewIterator()
 	defer it.Close()
+	if it.err != nil {
+		return it.err
+	}
 	n := 0
 	for it.Seek(start); it.Valid(); it.Next() {
 		if limit > 0 && n >= limit {
@@ -693,12 +794,6 @@ func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) err
 		n++
 	}
 	return nil
-}
-
-func (db *DB) isClosed() bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.closed
 }
 
 // WaitIdle blocks until all queued flushes, zero-copy merges, and
@@ -718,7 +813,7 @@ func (db *DB) WaitIdle() {
 }
 
 func (db *DB) idleLocked() bool {
-	v := db.current
+	v := db.current.Load()
 	if len(v.imms) > 0 {
 		return false
 	}
@@ -749,7 +844,7 @@ func (db *DB) FlushAll() error {
 		return err
 	}
 	db.mu.Lock()
-	if db.current.mem.mt.Empty() {
+	if db.current.Load().mem.mt.Empty() {
 		db.mu.Unlock()
 		db.commitMu.Unlock()
 		fresh.mt.Release()
@@ -759,7 +854,7 @@ func (db *DB) FlushAll() error {
 		db.WaitIdle()
 		return nil
 	}
-	old := db.current.mem
+	old := db.current.Load().mem
 	db.editVersionLocked(func(v *version) {
 		v.imms = append([]*memHandle{old}, v.imms...)
 		v.mem = fresh
@@ -774,7 +869,12 @@ func (db *DB) FlushAll() error {
 	return db.Err()
 }
 
-// Close drains background work and shuts the store down.
+// Close drains background work and shuts the store down. After the
+// closed flag latches, Close waits for every reader epoch to drain —
+// readers re-validate the flag right after pinning, so in-flight
+// Get/Scan calls exit promptly and no snapshot outlives the teardown of
+// the SSD tier. An Iterator the caller forgot to Close holds its epoch
+// pin and therefore blocks Close by design.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	if db.closed {
@@ -787,10 +887,16 @@ func (db *DB) Close() error {
 	db.WaitIdle()
 
 	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
 	db.closed = true
+	db.closedFlag.Store(true)
 	db.cond.Broadcast()
 	db.mu.Unlock()
 	db.wg.Wait()
+	db.waitReadersDrained()
 	if db.ssd != nil {
 		db.ssd.Close()
 	}
@@ -813,6 +919,19 @@ func (db *DB) Stats() stats.Snapshot {
 	}
 	s.AttachDevices(persistent...)
 	s.Devices = append(devs, s.Devices...)
+	levels := make([]stats.BloomLevelCounters, len(db.readLevels))
+	for i := range db.readLevels {
+		rl := &db.readLevels[i]
+		levels[i] = stats.BloomLevelCounters{
+			Level:          i,
+			Probes:         rl.probes.Load(),
+			Skips:          rl.skips.Load(),
+			FalsePositives: rl.falsePositives.Load(),
+			Hits:           rl.hits.Load(),
+		}
+	}
+	live, pending, epoch := db.versionChainGauge()
+	s.AttachReadPath(levels, live, pending, epoch)
 	return s
 }
 
@@ -826,6 +945,13 @@ func (db *DB) ResetCounters() {
 	// Atomic field-wise reset: background flush/compaction goroutines may
 	// be updating the recorder concurrently, so a struct copy would race.
 	db.st.Reset()
+	for i := range db.readLevels {
+		rl := &db.readLevels[i]
+		rl.probes.Store(0)
+		rl.skips.Store(0)
+		rl.falsePositives.Store(0)
+		rl.hits.Store(0)
+	}
 }
 
 // NVMUsage returns current and peak NVM footprint in bytes (the elastic
@@ -843,10 +969,9 @@ func (db *DB) NVMUsage() int64 {
 // LevelTableCounts returns the number of tables per elastic-buffer level
 // (diagnostics and tests).
 func (db *DB) LevelTableCounts() []int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]int, len(db.current.levels))
-	for i, l := range db.current.levels {
+	v := db.current.Load()
+	out := make([]int, len(v.levels))
+	for i, l := range v.levels {
 		out[i] = len(l)
 	}
 	return out

@@ -44,6 +44,13 @@ func (db *DB) degradeLocked(op string, err error) {
 	db.st.CountBackgroundError()
 	// Wake background loops (they exit), WaitIdle callers, and writers.
 	db.cond.Broadcast()
+	// Background loops stop on the latch, so no further version edits (and
+	// their synchronous sweeps) may ever run; kick one last opportunistic
+	// sweep so retired versions whose grace period has already elapsed are
+	// reclaimed rather than parked until Close.
+	if db.epochReads {
+		db.trySweep()
+	}
 }
 
 // degrade is degradeLocked for callers not holding db.mu.

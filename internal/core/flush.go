@@ -22,14 +22,14 @@ func (db *DB) flushLoop() {
 	defer db.wg.Done()
 	for {
 		db.mu.Lock()
-		for len(db.current.imms) == 0 && !db.closed && db.bgErr == nil {
+		for len(db.current.Load().imms) == 0 && !db.closed && db.bgErr == nil {
 			db.cond.Wait()
 		}
-		if db.abandon || db.bgErr != nil || (db.closed && len(db.current.imms) == 0) {
+		if db.abandon || db.bgErr != nil || (db.closed && len(db.current.Load().imms) == 0) {
 			db.mu.Unlock()
 			return
 		}
-		imms := db.current.imms
+		imms := db.current.Load().imms
 		h := imms[len(imms)-1] // oldest
 		db.mu.Unlock()
 
@@ -87,8 +87,10 @@ func (db *DB) flushOne(h *memHandle) error {
 	}
 	// Only now — with the retirement durably logged — may the memtable
 	// arena and WAL region be queued for release once every reader
-	// version referencing them drains.
-	db.current.releaseFns = append(db.current.releaseFns, func() {
+	// version referencing them drains. Appending to the current version's
+	// queue is safe here: releaseFns mutate only under db.mu while the
+	// version is current, and retired versions' queues are frozen.
+	db.queueReleaseLocked(func() {
 		mt.Release()
 		if log != nil {
 			log.Release()

@@ -662,7 +662,7 @@ func (db *DB) trySnapshotLocked() (bool, error) {
 	for _, slot := range db.markSlots {
 		s.markSlots = append(s.markSlots, uint64(slot))
 	}
-	v := db.current
+	v := db.current.Load()
 	// WAL regions oldest-first, active log last.
 	for i := len(v.imms) - 1; i >= 0; i-- {
 		if v.imms[i].log != nil {

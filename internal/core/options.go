@@ -53,6 +53,14 @@ type Options struct {
 	// path the ablation benchmarks compare against.
 	GroupCommit *bool
 
+	// EpochReads selects the lock-free read path: the current version is
+	// published through an atomic pointer and readers pin snapshots via
+	// striped epoch slots, never touching the structural mutex (see
+	// epoch.go / DESIGN.md §8). When false, readers acquire and release
+	// versions under the global mutex with per-version refcounts — the
+	// serialized read path the readscale ablation compares against.
+	EpochReads *bool
+
 	// SSD enables the DRAM-NVM-SSD hierarchy (§5.4): the repository is
 	// replaced by leveled SSTables on a simulated SSD.
 	SSD *SSDOptions
@@ -107,6 +115,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GroupCommit == nil {
 		o.GroupCommit = boolPtr(true)
+	}
+	if o.EpochReads == nil {
+		o.EpochReads = boolPtr(true)
 	}
 	if o.TimeScale == 0 {
 		o.TimeScale = 1

@@ -35,6 +35,7 @@ type CrashImage struct {
 func (db *DB) CrashForTest() *CrashImage {
 	db.mu.Lock()
 	db.closed = true
+	db.closedFlag.Store(true)
 	db.abandon = true
 	db.cond.Broadcast()
 	db.mu.Unlock()
@@ -78,6 +79,8 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	}
 	db.cond = sync.NewCond(&db.mu)
 	db.levelStats = make([]levelWork, opts.Levels)
+	db.readLevels = make([]readLevelWork, opts.Levels)
+	db.initEpochs()
 	db.applySimulation()
 	db.manifest = attachManifestLog(db.nvm, superRegion)
 
@@ -160,7 +163,8 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 
 	// Levels: re-attach tables; interrupted merges resume synchronously
 	// so recovery hands back a consistent buffer.
-	root := &version{levels: make([][]levelEntry, opts.Levels)}
+	root := newRootVersion()
+	root.levels = make([][]levelEntry, opts.Levels)
 	type pendingMerge struct {
 		level int
 		merge *pmtable.Merge
@@ -215,8 +219,8 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	freshHandles = append(freshHandles, mem)
 	root.mem = mem
 	root.repo = db.repo
-	root.refs.Store(1)
-	db.current, db.oldest = root, root
+	db.current.Store(root)
+	db.oldest = root
 
 	for _, ri := range state.walRegions {
 		r := img.Space.Region(ri)

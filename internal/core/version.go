@@ -70,16 +70,28 @@ type memHandle struct {
 }
 
 // version is an immutable snapshot of the store's readable structure.
-// Readers acquire the current version, search it without locks, and
-// release it; structural changes install a fresh version. Resources that a
-// newer version stopped referencing (flushed memtable arenas, retired WAL
-// regions, lazily-copied PMTable arenas) are queued on the version that
-// last referenced them and freed once that version and every older one
-// have drained — the deferred, arena-granularity reclamation the paper's
-// lazy memory freeing calls for, made safe under concurrent readers.
+// Readers pin the current version through the epoch machinery (epoch.go),
+// search it without locks, and exit; structural changes install a fresh
+// version with one atomic pointer store. Resources that a newer version
+// stopped referencing (flushed memtable arenas, retired WAL regions,
+// lazily-copied PMTable arenas) are queued on the version that last
+// referenced them and freed once that version — and every older one —
+// has drained past its reader grace period: the deferred,
+// arena-granularity reclamation the paper's lazy memory freeing calls
+// for, made safe under lock-free concurrent readers.
 type version struct {
-	refs atomic.Int32
 	next *version
+
+	// retireEpoch is the global epoch at which this version stopped being
+	// current (notRetired while installed). A retired version is dead once
+	// the epoch has advanced two past it — no reader pin can still reach
+	// it (see epoch.go).
+	retireEpoch atomic.Uint64
+
+	// refs backs the mutex-refcount ablation (Options.EpochReads=false):
+	// the store's own reference plus one per in-flight reader, all
+	// manipulated under db.mu. Unused in epoch mode.
+	refs atomic.Int32
 
 	mem    *memHandle
 	imms   []*memHandle   // newest first
@@ -87,50 +99,61 @@ type version struct {
 	repo   *pmtable.Repository
 
 	// releaseFns run when this version and all older versions are dead.
+	// Appended only while the version is current (under db.mu), so a
+	// retired version's queue is frozen.
 	releaseFns []func()
 }
 
-// acquireVersion takes a reference on the current version.
-func (db *DB) acquireVersion() *version {
-	db.mu.Lock()
-	v := db.current
-	v.refs.Add(1)
-	db.mu.Unlock()
+// newRootVersion builds the chain's first version (Open/Recover).
+func newRootVersion() *version {
+	v := &version{}
+	v.retireEpoch.Store(notRetired)
+	v.refs.Store(1) // the store's own reference (mutex ablation)
 	return v
 }
 
-// releaseVersion drops a reference and sweeps freeable old versions.
-func (db *DB) releaseVersion(v *version) {
-	db.mu.Lock()
-	v.refs.Add(-1)
-	db.sweepVersionsLocked()
-	db.mu.Unlock()
-}
-
-// sweepVersionsLocked frees dead versions from the oldest end of the
-// chain. Ordering matters: a version's garbage may still be referenced by
-// older versions, so the sweep stops at the first live one.
+// sweepVersionsLocked is the mutex-refcount ablation's sweep: free dead
+// versions from the oldest end of the chain, stopping at the first one a
+// reader still references. Callers hold db.mu (which serializes every
+// refcount transition in that mode).
 func (db *DB) sweepVersionsLocked() {
-	for db.oldest != db.current && db.oldest.refs.Load() == 0 {
+	cur := db.current.Load()
+	for db.oldest != cur && db.oldest.refs.Load() == 0 {
 		for _, fn := range db.oldest.releaseFns {
 			fn()
 		}
 		db.oldest.releaseFns = nil
 		db.oldest = db.oldest.next
+		db.st.CountVersionSwept()
 	}
 }
 
+// queueReleaseLocked appends fn to the current version's release queue:
+// it runs once that version and every older one have drained past their
+// reader grace period. Callers hold db.mu — the current version's queue
+// is the only mutable one (a retired version's queue is frozen), and the
+// retire stamp in editVersionLocked is the release point the sweeper
+// synchronizes with, so the append is always visible before the run.
+func (db *DB) queueReleaseLocked(fn func()) {
+	cur := db.current.Load()
+	cur.releaseFns = append(cur.releaseFns, fn)
+}
+
 // editVersion clones the current version, applies edit, and installs the
-// clone as current. garbage lists resources that the new version no longer
-// references. Must be called with db.mu held.
+// clone as current with a single atomic store — the only write the
+// lock-free read path ever observes. garbage lists resources that the
+// new version no longer references; they are queued on the outgoing
+// version, which may still be pinned by readers. Must be called with
+// db.mu held.
 func (db *DB) editVersionLocked(edit func(v *version), garbage ...func()) {
-	cur := db.current
+	cur := db.current.Load()
 	nv := &version{
 		mem:    cur.mem,
 		imms:   append([]*memHandle(nil), cur.imms...),
 		levels: make([][]levelEntry, len(cur.levels)),
 		repo:   cur.repo,
 	}
+	nv.retireEpoch.Store(notRetired)
 	for i := range cur.levels {
 		nv.levels[i] = append([]levelEntry(nil), cur.levels[i]...)
 	}
@@ -138,11 +161,25 @@ func (db *DB) editVersionLocked(edit func(v *version), garbage ...func()) {
 
 	// The outgoing version owns the garbage: it may still be read.
 	cur.releaseFns = append(cur.releaseFns, garbage...)
-
-	nv.refs.Store(1) // the DB's own reference
 	cur.next = nv
-	db.current = nv
-	cur.refs.Add(-1) // drop the DB's reference on the old version
-	db.sweepVersionsLocked()
+
+	if db.epochReads {
+		db.current.Store(nv)
+		// Retire strictly after the install: a reader that loaded cur
+		// pinned it before this stamp, so its entry epoch is ≤ the stamp
+		// and the grace period covers it.
+		db.retireVersionLocked(cur)
+		// Writers sweep synchronously (blocking on sweepMu is fine here —
+		// reader-side sweeps are try-lock only) so structural churn can
+		// never outrun reclamation even if no reader ever exits.
+		db.sweepMu.Lock()
+		db.advanceAndSweepLocked()
+		db.sweepMu.Unlock()
+	} else {
+		nv.refs.Store(1) // the store's own reference
+		db.current.Store(nv)
+		cur.refs.Add(-1) // drop the store's reference on the old version
+		db.sweepVersionsLocked()
+	}
 	db.cond.Broadcast()
 }

@@ -128,9 +128,13 @@ func (s *Server) handle(conn net.Conn, req request) error {
 		return writeResponse(conn, StatusOK, encodeScanPayload(pairs))
 	case OpStats:
 		st := s.store.Stats()
-		payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d",
+		payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d"+
+			" bloom_probes=%d bloom_skips=%d bloom_fps=%d bloom_fp_rate=%.4f"+
+			" live_versions=%d pending_releases=%d read_epoch=%d versions_swept=%d",
 			st.Puts, st.Gets, st.Deletes, st.Scans, st.WriteAmplification,
-			int64(st.IntervalStall), int64(st.CumulativeStall))
+			int64(st.IntervalStall), int64(st.CumulativeStall),
+			st.BloomProbes, st.BloomSkips, st.BloomFalsePositives, st.BloomFalsePositiveRate,
+			st.LiveVersions, st.PendingReleases, st.ReadEpoch, st.VersionsSwept)
 		return writeResponse(conn, StatusOK, []byte(payload))
 	default:
 		return writeResponse(conn, StatusError, []byte("unknown op"))

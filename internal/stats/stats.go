@@ -46,6 +46,9 @@ type Recorder struct {
 	// background failures that latched the store into degraded mode.
 	deviceRetries    atomic.Int64
 	backgroundErrors atomic.Int64
+	// Version reclamation: snapshots freed by the epoch (or refcount)
+	// sweep — the lock-free read path's grace-period machinery at work.
+	versionsSwept atomic.Int64
 }
 
 // AddIntervalStall records a full write-path block of duration d.
@@ -130,6 +133,10 @@ func (r *Recorder) AddDeviceRetry() { r.deviceRetries.Add(1) }
 // CountBackgroundError records a background failure that degraded the store.
 func (r *Recorder) CountBackgroundError() { r.backgroundErrors.Add(1) }
 
+// CountVersionSwept records one version snapshot freed by the reclamation
+// sweep after its reader grace period elapsed.
+func (r *Recorder) CountVersionSwept() { r.versionsSwept.Add(1) }
+
 // Reset zeroes every counter atomically, field by field. Unlike a struct
 // copy (`*r = Recorder{}`), it is safe while other goroutines are
 // concurrently updating the recorder: each atomic is stored individually,
@@ -154,12 +161,32 @@ func (r *Recorder) Reset() {
 	r.groupedWrites.Store(0)
 	r.deviceRetries.Store(0)
 	r.backgroundErrors.Store(0)
+	r.versionsSwept.Store(0)
 }
 
 // DeviceCounters mirrors a device's traffic in a snapshot.
 type DeviceCounters struct {
 	Name                    string
 	BytesRead, BytesWritten int64
+}
+
+// BloomLevelCounters is one elastic-buffer level's read-path accounting:
+// how often the level's filters were consulted, how many list searches
+// they saved, and the measured (not theoretical) false-positive cost.
+type BloomLevelCounters struct {
+	Level int
+	// Probes counts tables whose filter was consulted for a Get.
+	Probes int64
+	// Skips counts probes the filter answered "definitely absent" for.
+	Skips int64
+	// FalsePositives counts probes that passed the filter but found no
+	// key in the table — each one paid a wasted NVM list search.
+	FalsePositives int64
+	// Hits counts Gets satisfied at this level.
+	Hits int64
+	// FalsePositiveRate is FalsePositives over the probes that passed the
+	// filter (Probes − Skips); 0 when no probe passed.
+	FalsePositiveRate float64
 }
 
 // Snapshot is a point-in-time copy of every metric, in the units the
@@ -190,6 +217,25 @@ type Snapshot struct {
 	DeviceRetries    int64
 	BackgroundErrors int64
 
+	// Read-path observability (attached by the store via AttachReadPath):
+	// per-level bloom-filter counters plus their totals, and the version
+	// chain gauge behind the lock-free read path.
+	BloomLevels         []BloomLevelCounters
+	BloomProbes         int64
+	BloomSkips          int64
+	BloomFalsePositives int64
+	// BloomFalsePositiveRate is the measured FP rate across all levels:
+	// false positives over probes that passed the filter.
+	BloomFalsePositiveRate float64
+	// LiveVersions is the version chain's length (oldest through current);
+	// PendingReleases counts releaseFns queued on retired versions still
+	// inside their reader grace period; ReadEpoch is the global reclamation
+	// epoch; VersionsSwept counts snapshots freed by the sweep.
+	LiveVersions    int64
+	PendingReleases int64
+	ReadEpoch       uint64
+	VersionsSwept   int64
+
 	// Devices lists per-device traffic; WriteAmplification is total
 	// persistent-device write traffic ÷ user bytes.
 	Devices            []DeviceCounters
@@ -211,6 +257,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		MeanGroupSize:    mean,
 		DeviceRetries:    r.deviceRetries.Load(),
 		BackgroundErrors: r.backgroundErrors.Load(),
+		VersionsSwept:    r.versionsSwept.Load(),
 		IntervalStall:    time.Duration(r.intervalStallNs.Load()),
 		IntervalStalls:   r.intervalStalls.Load(),
 		CumulativeStall:  time.Duration(r.cumulativeStallNs.Load()),
@@ -227,6 +274,28 @@ func (r *Recorder) Snapshot() Snapshot {
 		Deletes:          r.deletes.Load(),
 		Scans:            r.scans.Load(),
 	}
+}
+
+// AttachReadPath fills the snapshot's read-path observability: per-level
+// bloom counters (with per-level and aggregate measured FP rates) and the
+// version-chain gauge.
+func (s *Snapshot) AttachReadPath(levels []BloomLevelCounters, liveVersions, pendingReleases int64, epoch uint64) {
+	s.BloomLevels = levels
+	for i := range levels {
+		l := &levels[i]
+		if passed := l.Probes - l.Skips; passed > 0 {
+			l.FalsePositiveRate = float64(l.FalsePositives) / float64(passed)
+		}
+		s.BloomProbes += l.Probes
+		s.BloomSkips += l.Skips
+		s.BloomFalsePositives += l.FalsePositives
+	}
+	if passed := s.BloomProbes - s.BloomSkips; passed > 0 {
+		s.BloomFalsePositiveRate = float64(s.BloomFalsePositives) / float64(passed)
+	}
+	s.LiveVersions = liveVersions
+	s.PendingReleases = pendingReleases
+	s.ReadEpoch = epoch
 }
 
 // AttachDevices fills the snapshot's device traffic and computes write
