@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent bench-readscale profile repro clean
+.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale profile repro clean
 
 all: check
 
@@ -14,9 +14,11 @@ test:
 	$(GO) test ./...
 
 # The concurrent write path (group-commit queue, WAL batch appends,
-# zero-copy merges under readers) must stay race-clean.
+# zero-copy merges under readers) and the shard router (cross-shard
+# batch splits, merged iterators, parallel flush/close) must stay
+# race-clean.
 race:
-	$(GO) test -race ./internal/core ./internal/wal
+	$(GO) test -race ./internal/core ./internal/wal ./internal/shard
 
 # Crash-torture: randomized power failures, torn writes, and interrupted
 # recoveries under the race detector (50+ cycles; deterministic per seed).
@@ -35,6 +37,11 @@ bench-concurrent:
 # ablation, read-only + YCSB-B/C mixes, 1..16 threads).
 bench-readscale:
 	$(GO) test ./internal/bench -run xxx -bench ConcurrentReads -benchtime 1x
+
+# Shard-scaling sweep (fill + readrandom vs shard count, 8 threads);
+# emits the EXPERIMENTS.md shard table via the experiment runner.
+bench-shardscale:
+	$(GO) run ./cmd/miodb-repro -experiment shardscale
 
 # Capture mutex/block contention profiles from 8-thread read-only
 # readscale runs of both read-path arms (epoch-pinned and the

@@ -28,6 +28,7 @@ func main() {
 		valueSize  = flag.Int("value_size", 4096, "value size in bytes")
 		memtable   = flag.Int64("write_buffer_size", 64<<10, "memtable size in bytes")
 		levels     = flag.Int("levels", 8, "miodb elastic-buffer levels")
+		shards     = flag.Int("shards", 1, "miodb shard count (hash-partitioned engines; 1 = single engine)")
 		ssd        = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		threads    = flag.Int("threads", 1, "concurrent goroutines for fill and readrandom benchmarks")
@@ -40,11 +41,16 @@ func main() {
 	if *reads <= 0 {
 		*reads = *num
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards %d: must be >= 1 (1 = single engine)\n", *shards)
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{
 		Kind:         bench.StoreKind(*store),
 		MemTableSize: *memtable,
 		Levels:       *levels,
+		Shards:       *shards,
 		SSD:          *ssd,
 		Simulate:     true,
 	}
@@ -61,8 +67,8 @@ func main() {
 	}
 	defer s.Close()
 
-	fmt.Printf("store=%s entries=%d value_size=%d memtable=%d ssd=%v\n",
-		*store, *num, *valueSize, *memtable, *ssd)
+	fmt.Printf("store=%s entries=%d value_size=%d memtable=%d ssd=%v shards=%d\n",
+		*store, *num, *valueSize, *memtable, *ssd, *shards)
 
 	report := func(name string, r bench.RunResult) {
 		fmt.Printf("%-12s : %8.1f KIOPS  (%d ops in %v; avg %.1fµs p99 %.1fµs p99.9 %.1fµs)\n",
@@ -120,6 +126,10 @@ func main() {
 			if st.WriteGroups > 0 {
 				fmt.Printf("  group commit: %d groups / %d writes (mean group size %.2f)\n",
 					st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)
+			}
+			for i, sh := range st.Shards {
+				fmt.Printf("  shard %d: puts=%d gets=%d deletes=%d WA=%.2f flushes=%d\n",
+					i, sh.Puts, sh.Gets, sh.Deletes, sh.WriteAmplification, sh.Flushes)
 			}
 			if st.BloomProbes > 0 {
 				fmt.Printf("  bloom: probes=%d skips=%d false-positives=%d measured-fp-rate=%.4f\n",

@@ -25,14 +25,20 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
 		store    = flag.String("store", "miodb", "store: miodb | leveldb | novelsm | novelsm-nosst | novelsm-hier | matrixkv")
 		memtable = flag.Int64("write_buffer_size", 64<<10, "memtable size in bytes")
+		shards   = flag.Int("shards", 1, "miodb shard count (hash-partitioned engines; 1 = single engine)")
 		ssd      = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		simulate = flag.Bool("simulate", false, "enable device latency models")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards %d: must be >= 1 (1 = single engine)\n", *shards)
+		os.Exit(2)
+	}
 
 	s, err := bench.OpenStore(bench.Config{
 		Kind:         bench.StoreKind(*store),
 		MemTableSize: *memtable,
+		Shards:       *shards,
 		SSD:          *ssd,
 		Simulate:     *simulate,
 	})
@@ -47,7 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "listen:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("miodb-server: store=%s listening on %s\n", *store, bound)
+	fmt.Printf("miodb-server: store=%s shards=%d listening on %s\n", *store, *shards, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

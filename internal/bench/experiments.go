@@ -84,6 +84,7 @@ func Experiments() []Experiment {
 		{"ablation", "MioDB design ablations (one-piece flush, zero-copy, parallelism, bloom)", Ablations},
 		{"concurrent", "Multi-writer throughput: group commit vs serialized writes", ConcurrentWrites},
 		{"readscale", "Multi-reader throughput: epoch-pinned reads vs mutex-refcount", ReadScale},
+		{"shardscale", "Sharded store: fill/readrandom throughput vs shard count", ShardScale},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},
 		{"extra-escan", "Bonus: workload E before vs after compactions settle (§5.2 claim)", ExtraScanSettle},
 		{"extra-novelsm", "Bonus: NoveLSM flat vs hierarchical vs NoSST (§3.1 claim)", ExtraNoveLSMVariants},

@@ -18,6 +18,7 @@ import (
 	"miodb/internal/core"
 	"miodb/internal/kvstore"
 	"miodb/internal/lsm"
+	"miodb/internal/shard"
 	"miodb/internal/vfs"
 )
 
@@ -46,6 +47,9 @@ type Config struct {
 	NVMBufferSize int64
 	// Levels is MioDB's elastic-buffer depth (paper default 8).
 	Levels int
+	// Shards hash-partitions MioDB over this many independent engines
+	// (0/1 = the single-engine path; baselines ignore it).
+	Shards int
 	// SSD switches the block tier to the SSD profile (the §5.4
 	// DRAM-NVM-SSD hierarchy); otherwise baselines keep SSTables on
 	// NVM-as-block and MioDB uses the in-NVM repository.
@@ -141,6 +145,15 @@ func OpenStore(c Config) (Store, error) {
 				Disk: vfs.NewDisk(vfs.SSDProfile()),
 				LSM:  lsmOptions(),
 			}
+		}
+		if c.Shards > 1 {
+			// Each shard builds its own SSD tier from opts when enabled,
+			// so the shared Disk handle above must not be reused across
+			// shards; sharded SSD mode is not wired in the harness.
+			if c.SSD {
+				return nil, fmt.Errorf("bench: sharded store does not support -ssd")
+			}
+			return shard.Open(c.Shards, opts)
 		}
 		db, err := core.Open(opts)
 		if err != nil {

@@ -41,6 +41,16 @@ func (b *Batch) Delete(key []byte) {
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
+// Each calls fn for every queued operation in order. The key and value
+// slices alias the batch's internal copies and must not be mutated or
+// retained past the callback. The shard router uses it to split a batch
+// by routing hash without re-copying the payload.
+func (b *Batch) Each(fn func(key, value []byte, del bool)) {
+	for _, op := range b.ops {
+		fn(op.key, op.value, op.kind == keys.KindDelete)
+	}
+}
+
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 

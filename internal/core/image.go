@@ -86,26 +86,12 @@ func writeRegionData(w io.Writer, r *vaddr.Region, extent int64) error {
 // Checkpoint quiesces the store and writes a checkpoint image to path
 // (atomically, via a temporary file). The store keeps running afterwards.
 func (db *DB) Checkpoint(path string) error {
-	// Force the volatile buffer out so the image is self-contained even
-	// without WAL replay, then drain background work so no compaction is
-	// mid-flight (the image would still recover via the insertion marks,
-	// but a quiesced image is simpler to reason about).
-	if err := db.FlushAll(); err != nil {
-		return err
-	}
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	// Hold the commit lock (WAL appends + group inserts happen under it)
-	// and the structural lock so nothing mutates the NVM during the copy;
-	// reads keep flowing.
-	db.commitMu.Lock()
-	db.mu.Lock()
-	err = db.WriteImage(f)
-	db.mu.Unlock()
-	db.commitMu.Unlock()
+	err = db.CheckpointTo(f)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -114,6 +100,29 @@ func (db *DB) Checkpoint(path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// CheckpointTo quiesces the store and streams a checkpoint image to w.
+// Unlike Checkpoint it does not provide atomic file replacement — callers
+// embedding the image in a larger file (the shard router's multi-shard
+// images) own that. The store keeps running afterwards.
+func (db *DB) CheckpointTo(w io.Writer) error {
+	// Force the volatile buffer out so the image is self-contained even
+	// without WAL replay, then drain background work so no compaction is
+	// mid-flight (the image would still recover via the insertion marks,
+	// but a quiesced image is simpler to reason about).
+	if err := db.FlushAll(); err != nil {
+		return err
+	}
+	// Hold the commit lock (WAL appends + group inserts happen under it)
+	// and the structural lock so nothing mutates the NVM during the copy;
+	// reads keep flowing.
+	db.commitMu.Lock()
+	db.mu.Lock()
+	err := db.WriteImage(w)
+	db.mu.Unlock()
+	db.commitMu.Unlock()
+	return err
 }
 
 // ReadImage reconstructs a crash image from a serialized checkpoint.

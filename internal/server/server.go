@@ -135,6 +135,14 @@ func (s *Server) handle(conn net.Conn, req request) error {
 			int64(st.IntervalStall), int64(st.CumulativeStall),
 			st.BloomProbes, st.BloomSkips, st.BloomFalsePositives, st.BloomFalsePositiveRate,
 			st.LiveVersions, st.PendingReleases, st.ReadEpoch, st.VersionsSwept)
+		// A sharded store reports its partition count and per-shard op
+		// tallies so a client can see the routing balance.
+		if len(st.Shards) > 0 {
+			payload += fmt.Sprintf(" shards=%d", len(st.Shards))
+			for i, sh := range st.Shards {
+				payload += fmt.Sprintf(" shard%d_ops=%d", i, sh.Puts+sh.Gets+sh.Deletes+sh.Scans)
+			}
+		}
 		return writeResponse(conn, StatusOK, []byte(payload))
 	default:
 		return writeResponse(conn, StatusError, []byte("unknown op"))

@@ -8,6 +8,7 @@ import (
 
 	"miodb/internal/core"
 	"miodb/internal/kvstore"
+	"miodb/internal/shard"
 )
 
 type miodbStore struct{ *core.DB }
@@ -308,5 +309,73 @@ func TestServerCloseIsClean(t *testing.T) {
 	// Requests after close fail at the transport level.
 	if err := c.Put([]byte("k2"), []byte("v")); err == nil {
 		t.Error("Put after server close succeeded")
+	}
+}
+
+// TestServerOverShardedStore serves a shard router instead of a single
+// engine — the Store interface is the seam, so the server needs no
+// changes — and checks the whole client surface plus the sharded stats
+// extension (partition count and per-shard op tallies).
+func TestServerOverShardedStore(t *testing.T) {
+	r, err := shard.Open(4, core.Options{MemTableSize: 16 << 10, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(r)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		r.Close()
+	})
+	c, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	for i := 0; i < 100; i++ {
+		if err := c.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := c.Get([]byte("k042")); err != nil || string(v) != "v42" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	// MPUT routes through the router's batch splitter.
+	batch := make([]kvstore.BatchOp, 0, 20)
+	for i := 100; i < 120; i++ {
+		batch = append(batch, kvstore.BatchOp{Key: []byte(fmt.Sprintf("k%03d", i)), Value: []byte("b")})
+	}
+	if err := c.MPut(batch); err != nil {
+		t.Fatal(err)
+	}
+	// The scan is served by the merged cross-shard iterator: globally
+	// ordered despite keys living on four engines.
+	pairs, err := c.Scan([]byte("k"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 120 {
+		t.Fatalf("scan returned %d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		if want := fmt.Sprintf("k%03d", i); string(p[0]) != want {
+			t.Fatalf("pair %d = %q, want %q", i, p[0], want)
+		}
+	}
+	line, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(line), []byte("shards=4")) {
+		t.Errorf("stats line missing shards=4: %q", line)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Contains([]byte(line), []byte(fmt.Sprintf("shard%d_ops=", i))) {
+			t.Errorf("stats line missing shard%d_ops: %q", i, line)
+		}
 	}
 }

@@ -240,6 +240,111 @@ type Snapshot struct {
 	// persistent-device write traffic ÷ user bytes.
 	Devices            []DeviceCounters
 	WriteAmplification float64
+
+	// Shards holds the per-shard breakdown when this snapshot aggregates
+	// a hash-partitioned store (see Aggregate); nil for single-engine
+	// stores. Counters in the parent snapshot are sums across shards,
+	// stall durations are maxima (shards stall in parallel, so the sum
+	// would overstate wall-clock impact).
+	Shards []Snapshot
+}
+
+// Aggregate combines per-shard snapshots into one store-level snapshot:
+// counters and byte totals are summed, stall/work durations that overlap
+// in wall time are taken as maxima (IntervalStall, CumulativeStall) while
+// background work times are summed (they measure CPU spent, not
+// wall-clock), per-level bloom counters are summed level-wise, device
+// traffic is merged by device name, and derived rates (write
+// amplification, mean group size, bloom FP rates) are recomputed from the
+// combined totals. The inputs are retained in the result's Shards slice.
+func Aggregate(shards []Snapshot) Snapshot {
+	var out Snapshot
+	if len(shards) == 0 {
+		return out
+	}
+	devIndex := map[string]int{}
+	var levels []BloomLevelCounters
+	for _, s := range shards {
+		if s.IntervalStall > out.IntervalStall {
+			out.IntervalStall = s.IntervalStall
+		}
+		if s.CumulativeStall > out.CumulativeStall {
+			out.CumulativeStall = s.CumulativeStall
+		}
+		out.IntervalStalls += s.IntervalStalls
+		out.SerializeTime += s.SerializeTime
+		out.DeserializeTime += s.DeserializeTime
+		out.FlushTime += s.FlushTime
+		out.FlushBytes += s.FlushBytes
+		out.Flushes += s.Flushes
+		out.CompactionTime += s.CompactionTime
+		out.Compactions += s.Compactions
+		out.UserBytesWritten += s.UserBytesWritten
+		out.Puts += s.Puts
+		out.Gets += s.Gets
+		out.Deletes += s.Deletes
+		out.Scans += s.Scans
+		out.WriteGroups += s.WriteGroups
+		out.GroupedWrites += s.GroupedWrites
+		out.DeviceRetries += s.DeviceRetries
+		out.BackgroundErrors += s.BackgroundErrors
+		out.BloomProbes += s.BloomProbes
+		out.BloomSkips += s.BloomSkips
+		out.BloomFalsePositives += s.BloomFalsePositives
+		out.LiveVersions += s.LiveVersions
+		out.PendingReleases += s.PendingReleases
+		out.VersionsSwept += s.VersionsSwept
+		if s.ReadEpoch > out.ReadEpoch {
+			out.ReadEpoch = s.ReadEpoch
+		}
+		for _, l := range s.BloomLevels {
+			for len(levels) <= l.Level {
+				levels = append(levels, BloomLevelCounters{Level: len(levels)})
+			}
+			dst := &levels[l.Level]
+			dst.Probes += l.Probes
+			dst.Skips += l.Skips
+			dst.FalsePositives += l.FalsePositives
+			dst.Hits += l.Hits
+		}
+		for _, d := range s.Devices {
+			i, ok := devIndex[d.Name]
+			if !ok {
+				i = len(out.Devices)
+				devIndex[d.Name] = i
+				out.Devices = append(out.Devices, DeviceCounters{Name: d.Name})
+			}
+			out.Devices[i].BytesRead += d.BytesRead
+			out.Devices[i].BytesWritten += d.BytesWritten
+		}
+	}
+	for i := range levels {
+		l := &levels[i]
+		if passed := l.Probes - l.Skips; passed > 0 {
+			l.FalsePositiveRate = float64(l.FalsePositives) / float64(passed)
+		}
+	}
+	out.BloomLevels = levels
+	if passed := out.BloomProbes - out.BloomSkips; passed > 0 {
+		out.BloomFalsePositiveRate = float64(out.BloomFalsePositives) / float64(passed)
+	}
+	if out.WriteGroups > 0 {
+		out.MeanGroupSize = float64(out.GroupedWrites) / float64(out.WriteGroups)
+	}
+	// Recompute WA over the persistent devices only — by convention the
+	// per-shard snapshots list the volatile "dram" device first and
+	// persistent devices after it (see core.DB.Stats).
+	var written int64
+	for _, d := range out.Devices {
+		if d.Name != "dram" {
+			written += d.BytesWritten
+		}
+	}
+	if out.UserBytesWritten > 0 {
+		out.WriteAmplification = float64(written) / float64(out.UserBytesWritten)
+	}
+	out.Shards = append([]Snapshot(nil), shards...)
+	return out
 }
 
 // Snapshot captures the recorder. Device traffic and WA are attached by

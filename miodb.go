@@ -15,6 +15,11 @@
 //     bounding write amplification near 3× (WAL + flush + lazy copy).
 //   - Mergeable bloom filters and deep levels for read performance.
 //
+// Beyond the paper, the store scales horizontally: Options{Shards: N}
+// hash-partitions the keyspace over N independent engines (per-shard
+// MemTable, WAL, and compaction pipeline) behind the same API, with
+// merged scans and aggregated stats. See DESIGN.md §9.
+//
 // Because no NVM hardware is assumed, the store runs on a simulated
 // byte-addressable NVM device with calibrated latency/bandwidth ratios and
 // full traffic accounting; see DESIGN.md for the substitution argument.
@@ -29,7 +34,10 @@
 package miodb
 
 import (
+	"fmt"
+
 	"miodb/internal/core"
+	"miodb/internal/shard"
 	"miodb/internal/stats"
 )
 
@@ -42,134 +50,366 @@ var ErrClosed = core.ErrClosed
 // ErrDegraded wraps the first background failure once a store has latched
 // itself read-only: writes are refused, reads keep serving the last
 // consistent state. errors.Is(err, ErrDegraded) identifies the mode; Err
-// returns the latched cause.
+// returns the latched cause. On a sharded store only the failed shard
+// refuses writes; healthy shards keep serving their slice of the
+// keyspace.
 var ErrDegraded = core.ErrDegraded
 
 // Options configures a store. The zero value (or nil) uses the paper's
 // configuration scaled for a single machine: 64 KB MemTables, 8
-// elastic-buffer levels, 16 bloom bits per key, WAL on.
+// elastic-buffer levels, 16 bloom bits per key, WAL on, one shard.
+//
+// Open validates options and returns a descriptive error for invalid
+// values (negative sizes, out-of-range level or shard counts) instead of
+// silently clamping them; zero values always mean "use the default".
 type Options struct {
-	// MemTableSize is the DRAM write buffer capacity in bytes.
+	// MemTableSize is the DRAM write buffer capacity in bytes (per shard
+	// when Shards > 1). 0 selects the default; negative is invalid.
 	MemTableSize int64
-	// Levels is the number of elastic-buffer levels (compaction threads).
+	// Levels is the number of elastic-buffer levels (compaction threads)
+	// per shard. 0 selects the default (8); otherwise it must be in
+	// [2, 64].
 	Levels int
-	// BloomBitsPerKey sizes the per-PMTable bloom filters.
+	// BloomBitsPerKey sizes the per-PMTable bloom filters. 0 selects the
+	// default (16); negative disables filtering (a read-path ablation).
 	BloomBitsPerKey int
+	// Shards hash-partitions the keyspace over this many independent
+	// engines — per-shard MemTable, WAL, elastic buffer, and compaction
+	// pipeline — for multi-core scaling. 0 or 1 selects the single-engine
+	// path (exactly the unsharded code path); negative is invalid.
+	// Write batches are atomic per shard, not across shards; see
+	// DESIGN.md §9.
+	Shards int
 	// DisableWAL turns off write-ahead logging (data in the DRAM buffer
 	// is then lost on crash).
 	DisableWAL bool
 	// UseSSD enables the DRAM-NVM-SSD hierarchy: the bottom repository
-	// becomes leveled SSTables on a simulated SSD.
+	// becomes leveled SSTables on a simulated SSD. SSD-mode stores
+	// cannot be checkpointed or restored (images hold the NVM state
+	// only); Checkpoint and OpenImage refuse rather than silently
+	// writing or restoring an incomplete configuration.
 	UseSSD bool
 	// Simulate enables device latency injection so measured performance
 	// reflects the modeled hardware; leave false for functional use.
 	Simulate bool
-	// TimeScale scales injected latencies (1.0 = full model).
+	// TimeScale scales injected latencies (1.0 = full model). 0 selects
+	// the default; negative is invalid.
 	TimeScale float64
-	// GroupCommit selects the leader-based group-commit write pipeline
-	// for concurrent writers (nil/true = on, the default). Bool(false)
-	// restores the serialized per-record write path.
+
+	// DisableGroupCommit turns off the leader-based group-commit write
+	// pipeline, restoring the serialized per-record write path (an
+	// ablation for comparison; the pipeline is on by default).
+	DisableGroupCommit bool
+	// DisableEpochReads turns off the lock-free read path, restoring
+	// mutex-refcount version pinning (an ablation for comparison; epoch
+	// reads are on by default).
+	DisableEpochReads bool
+
+	// GroupCommit is the older pointer-valued form of the group-commit
+	// toggle (nil/true = on, Bool(false) = off).
+	//
+	// Deprecated: set DisableGroupCommit instead. When non-nil this field
+	// takes precedence, so existing callers keep their behavior.
 	GroupCommit *bool
 }
 
-// Bool returns a pointer to b, for optional boolean options.
+// Bool returns a pointer to b, for the deprecated pointer-valued options.
+//
+// Deprecated: the boolean toggles are now plain Disable* fields
+// (DisableGroupCommit, DisableEpochReads); no pointer helper is needed.
 func Bool(b bool) *bool { return core.Bool(b) }
 
+// maxLevels bounds Options.Levels: beyond this each extra level is one
+// more idle compaction goroutine per shard with no measurable benefit
+// (the paper settles on 8; see Fig 9).
+const maxLevels = 64
+
+// maxShards bounds Options.Shards: each shard is a full engine with its
+// own background goroutines and memory floor.
+const maxShards = 1024
+
+// validate rejects invalid option values with descriptive errors. Zero
+// values are always valid and mean "use the default".
+func (opts *Options) validate() error {
+	if opts == nil {
+		return nil
+	}
+	if opts.MemTableSize < 0 {
+		return fmt.Errorf("miodb: invalid MemTableSize %d: must be ≥ 0 (0 selects the default)", opts.MemTableSize)
+	}
+	if opts.Levels != 0 && (opts.Levels < 2 || opts.Levels > maxLevels) {
+		return fmt.Errorf("miodb: invalid Levels %d: must be 0 (default) or in [2, %d]", opts.Levels, maxLevels)
+	}
+	if opts.TimeScale < 0 {
+		return fmt.Errorf("miodb: invalid TimeScale %g: must be ≥ 0 (0 selects the default)", opts.TimeScale)
+	}
+	if opts.Shards < 0 || opts.Shards > maxShards {
+		return fmt.Errorf("miodb: invalid Shards %d: must be in [0, %d] (0 and 1 select the single-engine path)", opts.Shards, maxShards)
+	}
+	return nil
+}
+
+// coreOptions is the single opts → core.Options translation, shared by
+// Open and OpenImage so the two entry points can never drift (OpenImage
+// once dropped UseSSD on the floor). opts may be nil.
 func (opts *Options) coreOptions() core.Options {
 	var co core.Options
-	if opts != nil {
-		co.MemTableSize = opts.MemTableSize
-		co.Levels = opts.Levels
-		co.BloomBitsPerKey = opts.BloomBitsPerKey
-		co.DisableWAL = opts.DisableWAL
-		co.Simulate = opts.Simulate
-		co.TimeScale = opts.TimeScale
-		co.GroupCommit = opts.GroupCommit
+	if opts == nil {
+		return co
+	}
+	co.MemTableSize = opts.MemTableSize
+	co.Levels = opts.Levels
+	co.BloomBitsPerKey = opts.BloomBitsPerKey
+	co.DisableWAL = opts.DisableWAL
+	co.Simulate = opts.Simulate
+	co.TimeScale = opts.TimeScale
+	// The deprecated pointer toggle wins when set; otherwise the plain
+	// Disable* field selects the ablation (nil keeps the default on).
+	co.GroupCommit = opts.GroupCommit
+	if co.GroupCommit == nil && opts.DisableGroupCommit {
+		co.GroupCommit = core.Bool(false)
+	}
+	if opts.DisableEpochReads {
+		co.EpochReads = core.Bool(false)
+	}
+	if opts.UseSSD {
+		co.SSD = &core.SSDOptions{}
 	}
 	return co
 }
 
-// Stats is the store's cost accounting snapshot: operation counts, stall
-// time, flush/compaction time, device traffic, and write amplification.
-type Stats = stats.Snapshot
-
-// DB is a MioDB store.
-type DB struct {
-	inner *core.DB
+func (opts *Options) shardCount() int {
+	if opts == nil {
+		return 1
+	}
+	if opts.Shards < 1 {
+		return 1
+	}
+	return opts.Shards
 }
 
-// Open creates a store. opts may be nil for defaults.
+// Stats is the store's cost accounting snapshot: operation counts, stall
+// time, flush/compaction time, device traffic, and write amplification.
+// For a sharded store the top-level fields aggregate all shards and
+// Stats.Shards carries the per-shard breakdown.
+type Stats = stats.Snapshot
+
+// DB is a MioDB store: a single engine, or — with Options{Shards: N} —
+// a hash-partitioned router over N independent engines behind the same
+// methods.
+type DB struct {
+	single *core.DB      // the single-engine path (Shards ≤ 1)
+	router *shard.Router // the sharded path (Shards > 1)
+	ssd    bool          // opened with UseSSD: not checkpointable
+}
+
+// Open creates a store. opts may be nil for defaults. Invalid options
+// are rejected with a descriptive error.
 func Open(opts *Options) (*DB, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	co := opts.coreOptions()
-	if opts != nil && opts.UseSSD {
-		co.SSD = &core.SSDOptions{}
+	ssd := opts != nil && opts.UseSSD
+	if n := opts.shardCount(); n > 1 {
+		router, err := shard.Open(n, co)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{router: router, ssd: ssd}, nil
 	}
 	inner, err := core.Open(co)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	return &DB{single: inner, ssd: ssd}, nil
 }
 
 // Put stores a key-value pair. The value is durable (in the simulated
 // NVM's write-ahead log) when Put returns.
-func (db *DB) Put(key, value []byte) error { return db.inner.Put(key, value) }
+func (db *DB) Put(key, value []byte) error {
+	if db.router != nil {
+		return db.router.Put(key, value)
+	}
+	return db.single.Put(key, value)
+}
 
 // Get returns the newest value for key, or ErrNotFound.
-func (db *DB) Get(key []byte) ([]byte, error) { return db.inner.Get(key) }
+func (db *DB) Get(key []byte) ([]byte, error) {
+	if db.router != nil {
+		return db.router.Get(key)
+	}
+	return db.single.Get(key)
+}
 
 // Delete removes key. Deleting an absent key is not an error.
-func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+func (db *DB) Delete(key []byte) error {
+	if db.router != nil {
+		return db.router.Delete(key)
+	}
+	return db.single.Delete(key)
+}
 
 // Batch collects writes for atomic application via Write.
 type Batch = core.Batch
 
 // Write applies every operation in the batch atomically: consecutive
-// sequence numbers, logged together, all-or-nothing across a crash.
-func (db *DB) Write(b *Batch) error { return db.inner.Write(b) }
-
-// Scan calls fn for up to limit live keys ≥ start, in order; fn returning
-// false stops the scan. limit ≤ 0 scans to the end. The key and value
-// slices passed to fn alias store memory and are only valid for the
-// duration of the callback; copy them to retain.
-func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
-	return db.inner.Scan(start, limit, fn)
+// sequence numbers, logged together, all-or-nothing across a crash. On a
+// sharded store the batch is split by routing hash and that guarantee
+// holds per shard — each shard's slice commits as one unit, but a crash
+// can surface some shards' slices without others'.
+func (db *DB) Write(b *Batch) error {
+	if db.router != nil {
+		return db.router.Write(b)
+	}
+	return db.single.Write(b)
 }
 
-// NewIterator returns an ordered iterator over live keys. Callers must
-// Close it to release its snapshot.
-func (db *DB) NewIterator() *core.Iterator { return db.inner.NewIterator() }
+// Scan calls fn for up to limit live keys ≥ start, in order; fn returning
+// false stops the scan. limit ≤ 0 scans to the end. On a sharded store
+// the per-shard streams are heap-merged into one globally ordered scan.
+// The key and value slices passed to fn alias store memory and are only
+// valid for the duration of the callback; copy them to retain.
+func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
+	if db.router != nil {
+		return db.router.Scan(start, limit, fn)
+	}
+	return db.single.Scan(start, limit, fn)
+}
 
-// Flush forces the DRAM buffer out and waits for all background
+// Iterator walks a store's live keys in order. Close releases its
+// snapshot; callers must Close every iterator before closing the store.
+type Iterator interface {
+	// SeekToFirst positions at the first live key.
+	SeekToFirst()
+	// Seek positions at the first live key ≥ key.
+	Seek(key []byte)
+	// Next advances to the next live key.
+	Next()
+	// Valid reports whether the iterator is positioned.
+	Valid() bool
+	// Key returns the current key (valid until Next/Close).
+	Key() []byte
+	// Value returns the current value (valid until Next/Close).
+	Value() []byte
+	// Err returns the iterator's sticky error.
+	Err() error
+	// Close releases the iterator's snapshot.
+	Close()
+}
+
+// NewIterator returns an ordered iterator over live keys — on a sharded
+// store, a k-way merge over every shard's snapshot. Callers must Close
+// it to release its snapshot(s).
+func (db *DB) NewIterator() Iterator {
+	if db.router != nil {
+		return db.router.NewIterator()
+	}
+	return db.single.NewIterator()
+}
+
+// Flush forces the DRAM buffer(s) out and waits for all background
 // compaction to drain.
-func (db *DB) Flush() error { return db.inner.FlushAll() }
+func (db *DB) Flush() error {
+	if db.router != nil {
+		return db.router.FlushAll()
+	}
+	return db.single.FlushAll()
+}
 
 // Checkpoint writes the store's persistent state to a file (atomically).
 // On real NVM hardware the memory itself is the durable medium; under
 // simulation, checkpoint images provide process-level durability:
 // OpenImage restores a store from one through the crash-recovery path.
-func (db *DB) Checkpoint(path string) error { return db.inner.Checkpoint(path) }
+// A sharded store writes one file holding every shard's image with the
+// shard count recorded in the header.
+//
+// SSD-mode stores (Options.UseSSD) cannot be checkpointed: images
+// capture the NVM state only, so an image of a store whose repository
+// lives on the simulated SSD would silently miss that data. Checkpoint
+// refuses rather than writing an incomplete image.
+func (db *DB) Checkpoint(path string) error {
+	if db.ssd {
+		return fmt.Errorf("miodb: cannot checkpoint an SSD-mode store: images capture the NVM state only (the SSD-resident repository would be lost)")
+	}
+	if db.router != nil {
+		return db.router.Checkpoint(path)
+	}
+	return db.single.Checkpoint(path)
+}
 
 // OpenImage restores a store from a checkpoint file written by
-// Checkpoint. opts must carry the same structural settings (Levels) the
-// checkpointed store used; nil means defaults.
+// Checkpoint. opts must carry the same structural settings (Levels,
+// Shards) the checkpointed store used; nil means defaults. The image's
+// recorded shard count is validated: restoring a sharded image with a
+// mismatched Shards value is rejected (Shards = 0 adopts the recorded
+// count), as is restoring a single-engine image with Shards > 1.
+// Restoring with UseSSD is rejected — images hold the NVM state only.
 func OpenImage(path string, opts *Options) (*DB, error) {
-	inner, err := core.OpenImage(path, opts.coreOptions())
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.UseSSD {
+		// The shared translation means UseSSD reaches core (which
+		// refuses SSD-mode recovery); reject here with the fuller story.
+		// Earlier versions silently dropped the flag and restored a
+		// different configuration.
+		return nil, fmt.Errorf("miodb: cannot restore with UseSSD: checkpoint images capture the NVM state only, and SSD-mode recovery is not supported")
+	}
+	co := opts.coreOptions()
+	_, sharded, err := shard.ImageInfo(path)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	want := opts.shardCount()
+	if sharded {
+		if opts == nil || opts.Shards == 0 {
+			want = 0 // defaults adopt the image's recorded count
+		}
+		router, err := shard.OpenImage(path, want, co)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{router: router}, nil
+	}
+	if want > 1 {
+		return nil, fmt.Errorf("miodb: shard-count mismatch: image is single-engine, options request %d shards", want)
+	}
+	inner, err := core.OpenImage(path, co)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{single: inner}, nil
 }
 
-// Stats returns the store's cost accounting.
-func (db *DB) Stats() Stats { return db.inner.Stats() }
+// Stats returns the store's cost accounting. For a sharded store the
+// counters aggregate every shard (stalls are maxima — shards stall in
+// parallel) and Stats.Shards holds the per-shard breakdown.
+func (db *DB) Stats() Stats {
+	if db.router != nil {
+		return db.router.Stats()
+	}
+	return db.single.Stats()
+}
 
 // Err reports the store's latched background error, if any. A non-nil
 // result wraps ErrDegraded: a flush, compaction, or manifest append hit a
 // persistent device fault, the store refused to release any state the
-// last recoverable image depends on, and it now serves reads only.
-func (db *DB) Err() error { return db.inner.Err() }
+// last recoverable image depends on, and it now serves reads only. On a
+// sharded store the first shard error latches and stays the reported
+// cause; only that shard refuses writes.
+func (db *DB) Err() error {
+	if db.router != nil {
+		return db.router.Err()
+	}
+	return db.single.Err()
+}
 
 // Close drains background work and shuts the store down. Callers must
 // stop issuing operations first.
-func (db *DB) Close() error { return db.inner.Close() }
+func (db *DB) Close() error {
+	if db.router != nil {
+		return db.router.Close()
+	}
+	return db.single.Close()
+}

@@ -3,6 +3,7 @@ package miodb
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"miodb/internal/kvstore"
@@ -113,5 +114,221 @@ func TestPublicCheckpointRestore(t *testing.T) {
 	v, err := re.Get([]byte("k0123"))
 	if err != nil || string(v) != "v123" {
 		t.Fatalf("restored Get = %q, %v", v, err)
+	}
+}
+
+// TestOpenRejectsInvalidOptions pins the validation contract: invalid
+// option values are refused with errors that name the offending field,
+// zero values always mean "use the default", and OpenImage applies the
+// same checks before it ever touches the image file.
+func TestOpenRejectsInvalidOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		opts *Options
+		want string // substring the error must carry
+	}{
+		{"negative-memtable", &Options{MemTableSize: -1}, "MemTableSize"},
+		{"levels-below-range", &Options{Levels: 1}, "Levels"},
+		{"levels-above-range", &Options{Levels: 65}, "Levels"},
+		{"negative-timescale", &Options{TimeScale: -0.5}, "TimeScale"},
+		{"negative-shards", &Options{Shards: -1}, "Shards"},
+		{"too-many-shards", &Options{Shards: 1025}, "Shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Open(tc.opts); err == nil {
+				t.Fatalf("Open accepted %+v", tc.opts)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Open error %q does not name %s", err, tc.want)
+			}
+			// Same gate on the restore entry point, checked before the
+			// path: a missing file must not mask the option error.
+			if _, err := OpenImage("/nonexistent/img", tc.opts); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("OpenImage error %v does not name %s", err, tc.want)
+			}
+		})
+	}
+	// Zero values stay valid: nil, the zero struct, and explicit zeros.
+	for _, opts := range []*Options{nil, {}, {MemTableSize: 0, Levels: 0, TimeScale: 0, Shards: 0}} {
+		db, err := Open(opts)
+		if err != nil {
+			t.Fatalf("Open(%+v) = %v", opts, err)
+		}
+		db.Close()
+	}
+}
+
+// TestOpenImageHonorsUseSSD guards the once-dropped option: earlier
+// versions silently ignored UseSSD on restore (and wrote NVM-only
+// images of SSD stores whose repository data they could not carry).
+// Both entry points now refuse descriptively instead of silently
+// producing or restoring an incomplete configuration.
+func TestOpenImageHonorsUseSSD(t *testing.T) {
+	opts := &Options{UseSSD: true, MemTableSize: 8 << 10, Levels: 3}
+	dir := t.TempDir()
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// An SSD-mode store's repository lives on the simulated disk; an
+	// NVM-only image of it would silently lose that data.
+	if err := db.Checkpoint(dir + "/ssd.img"); err == nil || !strings.Contains(err.Error(), "SSD") {
+		t.Fatalf("Checkpoint of SSD-mode store: err = %v, want SSD refusal", err)
+	}
+
+	// Restoring a (valid, non-SSD) image with UseSSD set must refuse
+	// rather than drop the flag — the pre-fix behavior.
+	path := dir + "/plain.img"
+	plain, err := Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Put([]byte("k"), []byte("v"))
+	if err := plain.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	plain.Close()
+	if _, err := OpenImage(path, &Options{UseSSD: true}); err == nil || !strings.Contains(err.Error(), "UseSSD") {
+		t.Fatalf("OpenImage with UseSSD: err = %v, want descriptive refusal", err)
+	}
+	re, err := OpenImage(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, err := re.Get([]byte("k")); err != nil || string(v) != "v" {
+		t.Fatalf("plain restore Get = %q, %v", v, err)
+	}
+}
+
+// TestShardedPublicAPI exercises Options.Shards end to end through the
+// public surface: transparent routing, merged scans, aggregated stats
+// with the per-shard breakdown, cross-shard batches, and the sharded
+// checkpoint/restore path with its shard-count validation.
+func TestShardedPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/sharded.img"
+	// Default structural options, so the nil-opts restore below matches
+	// the checkpointed structure (OpenImage's documented contract).
+	db, err := Open(&Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &Batch{}
+	b.Put([]byte("batch-a"), []byte("1"))
+	b.Put([]byte("batch-b"), []byte("2"))
+	b.Delete([]byte("k0001"))
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k0001")); err != ErrNotFound {
+		t.Fatalf("batched delete not applied: %v", err)
+	}
+	if v, err := db.Get([]byte("batch-b")); err != nil || string(v) != "2" {
+		t.Fatalf("batched put = %q, %v", v, err)
+	}
+
+	// Merged scan is globally ordered across shards.
+	var last string
+	n := 0
+	err = db.Scan([]byte("k"), 0, func(k, v []byte) bool {
+		if last != "" && string(k) <= last {
+			t.Fatalf("scan out of order: %q after %q", k, last)
+		}
+		last = string(k)
+		n++
+		return true
+	})
+	if err != nil || n != 599 {
+		t.Fatalf("scan n=%d err=%v", n, err)
+	}
+
+	st := db.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("Stats().Shards len = %d", len(st.Shards))
+	}
+	if st.Puts != 602 {
+		t.Errorf("aggregated puts = %d, want 602", st.Puts)
+	}
+
+	if err := db.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// nil options adopt the image's recorded shard count.
+	re, err := OpenImage(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(re.Stats().Shards); got != 4 {
+		t.Fatalf("restored shard count = %d", got)
+	}
+	if v, err := re.Get([]byte("k0042")); err != nil || string(v) != "v42" {
+		t.Fatalf("restored Get = %q, %v", v, err)
+	}
+	re.Close()
+
+	// A mismatched count is refused; so is opening a single-engine
+	// image with Shards > 1.
+	if _, err := OpenImage(path, &Options{Shards: 2}); err == nil || !strings.Contains(err.Error(), "shard-count mismatch") {
+		t.Fatalf("mismatched shard count: err = %v", err)
+	}
+	single := dir + "/single.img"
+	sdb, err := Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdb.Put([]byte("k"), []byte("v"))
+	if err := sdb.Checkpoint(single); err != nil {
+		t.Fatal(err)
+	}
+	sdb.Close()
+	if _, err := OpenImage(single, &Options{Shards: 4}); err == nil || !strings.Contains(err.Error(), "shard-count mismatch") {
+		t.Fatalf("single image with Shards=4: err = %v", err)
+	}
+}
+
+// TestToggleForms: both the plain Disable* toggles and the deprecated
+// pointer form must configure a working store, including together (the
+// pointer wins when non-nil, preserving existing callers' behavior).
+func TestToggleForms(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts *Options
+	}{
+		{"disable-group-commit", &Options{DisableGroupCommit: true}},
+		{"disable-epoch-reads", &Options{DisableEpochReads: true}},
+		{"deprecated-pointer-off", &Options{GroupCommit: Bool(false)}},
+		{"pointer-overrides-disable", &Options{GroupCommit: Bool(true), DisableGroupCommit: true}},
+		{"sharded-ablations", &Options{Shards: 2, DisableGroupCommit: true, DisableEpochReads: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Open(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < 200; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if v, err := db.Get([]byte("k007")); err != nil || string(v) != "v" {
+				t.Fatalf("Get = %q, %v", v, err)
+			}
+		})
 	}
 }
