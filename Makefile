@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale profile repro clean
+.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale profile repro clean
 
 all: check
 
@@ -14,11 +14,12 @@ test:
 	$(GO) test ./...
 
 # The concurrent write path (group-commit queue, WAL batch appends,
-# zero-copy merges under readers) and the shard router (cross-shard
-# batch splits, merged iterators, parallel flush/close) must stay
-# race-clean.
+# zero-copy merges under readers), the shard router (cross-shard
+# batch splits, merged iterators, parallel flush/close), and the
+# pipelined network front end (reader/writer split, cross-connection
+# batcher, tag-matched client) must stay race-clean.
 race:
-	$(GO) test -race ./internal/core ./internal/wal ./internal/shard
+	$(GO) test -race ./internal/core ./internal/wal ./internal/shard ./internal/server ./internal/client
 
 # Crash-torture: randomized power failures, torn writes, and interrupted
 # recoveries under the race detector (50+ cycles; deterministic per seed).
@@ -42,6 +43,12 @@ bench-readscale:
 # emits the EXPERIMENTS.md shard table via the experiment runner.
 bench-shardscale:
 	$(GO) run ./cmd/miodb-repro -experiment shardscale
+
+# Network front-end sweep (loopback connections × pipeline window vs a
+# window=1 ablation and a local 8-writer reference); also writes the
+# machine-readable BENCH_netscale.json artifact to the repo root.
+bench-netscale:
+	$(GO) run ./cmd/miodb-repro -experiment netscale -json_dir .
 
 # Capture mutex/block contention profiles from 8-thread read-only
 # readscale runs of both read-path arms (epoch-pinned and the

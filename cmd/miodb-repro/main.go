@@ -26,6 +26,7 @@ func main() {
 		all        = flag.Bool("all", false, "run every experiment")
 		scale      = flag.Float64("scale", 1.0, "dataset scale (1.0 = full 1/1000-scaled reproduction)")
 		seed       = flag.Int64("seed", 0, "workload seed override")
+		jsonDir    = flag.String("json_dir", "", "directory for machine-readable BENCH_<id>.json artifacts (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 		return
 	}
 
-	p := bench.Params{Scale: *scale, Out: os.Stdout, Seed: *seed}
+	p := bench.Params{Scale: *scale, Out: os.Stdout, Seed: *seed, JSONDir: *jsonDir}
 	switch {
 	case *all:
 		start := time.Now()

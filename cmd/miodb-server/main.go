@@ -1,12 +1,16 @@
 // Command miodb-server exposes any of the four stores over TCP with the
-// repository's length-prefixed binary protocol (internal/server), turning
-// the reproduction into a network-attachable KV service.
+// repository's binary protocol (internal/server), turning the
+// reproduction into a network-attachable KV service. Both protocol
+// versions are served on one port: the legacy lockstep framing and the
+// tagged pipelined framing (many requests in flight per connection,
+// all connections' writes feeding shared group commits).
 //
 // Example:
 //
-//	miodb-server -addr 127.0.0.1:7707 -store miodb
+//	miodb-server -addr 127.0.0.1:7707 -store miodb -window 256
 //
-// The matching Go client is internal/server.Client.
+// The matching Go clients are internal/client (pipelined) and
+// internal/server.Client (legacy).
 package main
 
 import (
@@ -28,6 +32,9 @@ func main() {
 		shards   = flag.Int("shards", 1, "miodb shard count (hash-partitioned engines; 1 = single engine)")
 		ssd      = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		simulate = flag.Bool("simulate", false, "enable device latency models")
+		window   = flag.Int("window", 0, "per-connection in-flight request cap for pipelined connections (0 = default)")
+		pending  = flag.Int("max_pending", 0, "global in-flight request cap across all connections (0 = default)")
+		drain    = flag.Duration("drain_timeout", 0, "how long shutdown waits for in-flight requests (0 = default)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -47,7 +54,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(s)
+	srv := server.NewWithOptions(s, server.Options{
+		Window:       *window,
+		MaxPending:   *pending,
+		DrainTimeout: *drain,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "listen:", err)

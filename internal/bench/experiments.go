@@ -17,6 +17,9 @@ type Params struct {
 	Out   io.Writer
 	// Seed offsets workload randomness (fixed default for repeatability).
 	Seed int64
+	// JSONDir, when non-empty, is where experiments that emit
+	// machine-readable artifacts write their BENCH_<id>.json files.
+	JSONDir string
 }
 
 func (p Params) norm() Params {
@@ -85,6 +88,7 @@ func Experiments() []Experiment {
 		{"concurrent", "Multi-writer throughput: group commit vs serialized writes", ConcurrentWrites},
 		{"readscale", "Multi-reader throughput: epoch-pinned reads vs mutex-refcount", ReadScale},
 		{"shardscale", "Sharded store: fill/readrandom throughput vs shard count", ShardScale},
+		{"netscale", "Pipelined network front end: connections × window sweep over loopback", NetScale},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},
 		{"extra-escan", "Bonus: workload E before vs after compactions settle (§5.2 claim)", ExtraScanSettle},
 		{"extra-novelsm", "Bonus: NoveLSM flat vs hierarchical vs NoSST (§3.1 claim)", ExtraNoveLSMVariants},

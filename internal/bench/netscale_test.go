@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"miodb/internal/server"
+)
+
+// TestNetScaleRepDrivesServer checks the rep driver end to end at small
+// scale: every put must reach the store, and the timed result must be
+// rate-like.
+func TestNetScaleRepDrivesServer(t *testing.T) {
+	s, err := OpenStore(Config{Kind: MioDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := server.NewWithOptions(s, server.Options{Window: 32})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const total = 2000
+	res, err := netScaleRep(addr.String(), 8, 4, total, total, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != total || res.KIOPS <= 0 || res.Latency.Count != total {
+		t.Errorf("rep result: %+v", res)
+	}
+	if st := s.Stats(); st.Puts != total {
+		t.Errorf("store saw %d puts, want %d", st.Puts, total)
+	}
+}
+
+// TestNetScaleExperimentAndJSON runs the full experiment with shrunken
+// arms and checks the report shape and the BENCH_netscale.json artifact.
+func TestNetScaleExperimentAndJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netscale smoke test skipped in -short mode")
+	}
+	oldArms, oldReps := netScaleArms, netScaleReps
+	netScaleArms = []netArm{{4, 1}, {4, 4}}
+	netScaleReps = 1
+	t.Cleanup(func() { netScaleArms, netScaleReps = oldArms, oldReps })
+
+	dir := t.TempDir()
+	rep, err := NetScale(Params{Scale: 0.02, Out: io.Discard, JSONDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "shape:") || !strings.Contains(out, "window") {
+		t.Errorf("report missing expected sections:\n%s", out)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_netscale.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONReport
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Bench != "netscale" || doc.NumCPU <= 0 {
+		t.Errorf("header: %+v", doc)
+	}
+	// Two sweep arms plus the local 8-writer reference.
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	names := map[string]bool{}
+	for _, res := range doc.Results {
+		names[res.Name] = true
+		if res.KIOPS.Best <= 0 || res.Reps != 1 || len(res.KIOPS.All) != 1 {
+			t.Errorf("result %s: %+v", res.Name, res)
+		}
+		if res.Latency == nil || res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P999 {
+			t.Errorf("result %s latency: %+v", res.Name, res.Latency)
+		}
+	}
+	for _, want := range []string{"conns=4/window=1", "conns=4/window=4", "local/writers=8"} {
+		if !names[want] {
+			t.Errorf("missing result %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{5, 1}, 3},
+		{[]float64{9, 1, 5}, 5},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := median(c.in); got != c.want {
+			t.Errorf("median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+// Package client is the pipelined network client for the miodb server's
+// protocol v2 (internal/server): many requests in flight per connection,
+// responses matched to requests by tag, with a connection pool on top.
+//
+// A Conn multiplexes any number of goroutines over one TCP connection:
+// each call claims a window slot and a fresh tag, hands its encoded
+// frame to the connection's writer (which coalesces everything ready
+// into single socket writes), and parks until the reader delivers the
+// response bearing its tag — so N callers see N concurrent round trips
+// over one socket instead of N sockets or N serialized round trips.
+package client
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"miodb/internal/kvstore"
+	"miodb/internal/server"
+)
+
+// Options tunes a connection (or every connection of a pool).
+type Options struct {
+	// Window caps in-flight requests per connection; a caller beyond
+	// the window blocks until a response frees a slot. Default 64.
+	Window int
+	// Conns is the pool size for DialPool. Default 1.
+	Conns int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	return o
+}
+
+// tresp is a matched response.
+type tresp struct {
+	status  byte
+	payload []byte
+}
+
+// Conn is one pipelined connection. All methods are safe for concurrent
+// use by any number of goroutines.
+type Conn struct {
+	nc     net.Conn
+	window chan struct{}
+	reqCh  chan []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan tresp
+	nextTag uint64
+	err     error // terminal transport error, set once under mu
+
+	done     chan struct{}
+	doneOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Dial connects and negotiates protocol v2.
+func Dial(addr string, opts Options) (*Conn, error) {
+	opts = opts.withDefaults()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := nc.Write(server.MagicV2[:]); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c := &Conn{
+		nc:      nc,
+		window:  make(chan struct{}, opts.Window),
+		reqCh:   make(chan []byte, opts.Window),
+		pending: make(map[uint64]chan tresp),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// fail latches the first transport error and wakes every waiter.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+	c.nc.Close()
+}
+
+// Err returns the terminal transport error, if any.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears the connection down; in-flight calls return an error.
+func (c *Conn) Close() error {
+	c.fail(fmt.Errorf("client: closed"))
+	c.wg.Wait()
+	return nil
+}
+
+// writeLoop coalesces queued request frames into single socket writes —
+// with many callers in flight, one syscall carries many requests.
+func (c *Conn) writeLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 0, 16<<10)
+	for {
+		var frame []byte
+		select {
+		case frame = <-c.reqCh:
+		case <-c.done:
+			return
+		}
+		buf = append(buf[:0], frame...)
+	coalesce:
+		for len(buf) < 256<<10 {
+			select {
+			case f := <-c.reqCh:
+				buf = append(buf, f...)
+			default:
+				break coalesce
+			}
+		}
+		if _, err := c.nc.Write(buf); err != nil {
+			c.fail(err)
+			return
+		}
+	}
+}
+
+// readLoop matches tagged responses (possibly out of request order) to
+// their parked callers.
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	for {
+		tag, status, payload, err := server.ReadTaggedResponse(c.nc)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[tag]
+		delete(c.pending, tag)
+		c.mu.Unlock()
+		if !ok {
+			c.fail(fmt.Errorf("client: response for unknown tag %d", tag))
+			return
+		}
+		ch <- tresp{status: status, payload: payload}
+	}
+}
+
+// do runs one pipelined round trip.
+func (c *Conn) do(op byte, key, val []byte) (byte, []byte, error) {
+	select {
+	case c.window <- struct{}{}:
+	case <-c.done:
+		return 0, nil, c.Err()
+	}
+	defer func() { <-c.window }()
+
+	ch := make(chan tresp, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.nextTag++
+	tag := c.nextTag
+	c.pending[tag] = ch
+	c.mu.Unlock()
+
+	frame := server.AppendTaggedRequest(nil, tag, op, key, val)
+	select {
+	case c.reqCh <- frame:
+	case <-c.done:
+		c.abandon(tag)
+		return 0, nil, c.Err()
+	}
+	select {
+	case r := <-ch:
+		return r.status, r.payload, nil
+	case <-c.done:
+		// The reader may have delivered concurrently with teardown.
+		select {
+		case r := <-ch:
+			return r.status, r.payload, nil
+		default:
+		}
+		c.abandon(tag)
+		return 0, nil, c.Err()
+	}
+}
+
+// abandon forgets a tag whose caller gave up.
+func (c *Conn) abandon(tag uint64) {
+	c.mu.Lock()
+	delete(c.pending, tag)
+	c.mu.Unlock()
+}
+
+// Get fetches the newest value for key; kvstore.ErrNotFound if absent.
+func (c *Conn) Get(key []byte) ([]byte, error) {
+	status, payload, err := c.do(server.OpGet, key, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case server.StatusOK:
+		return payload, nil
+	case server.StatusNotFound:
+		return nil, kvstore.ErrNotFound
+	default:
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+}
+
+// Put stores a key-value pair.
+func (c *Conn) Put(key, value []byte) error {
+	return c.expectOK(c.do(server.OpPut, key, value))
+}
+
+// Delete removes a key.
+func (c *Conn) Delete(key []byte) error {
+	return c.expectOK(c.do(server.OpDelete, key, nil))
+}
+
+// Batch applies a batch of writes atomically in one round trip.
+func (c *Conn) Batch(ops []kvstore.BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return c.expectOK(c.do(server.OpMPut, nil, server.EncodeBatchPayload(ops)))
+}
+
+// Scan returns up to limit ordered key-value pairs starting at start.
+func (c *Conn) Scan(start []byte, limit int) ([][2][]byte, error) {
+	var lim [4]byte
+	binary.LittleEndian.PutUint32(lim[:], uint32(limit))
+	status, payload, err := c.do(server.OpScan, start, lim[:])
+	if err != nil {
+		return nil, err
+	}
+	if status != server.StatusOK {
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+	return server.DecodeScanPayload(payload)
+}
+
+// Stats returns the server's cost-accounting line (store counters plus
+// per-op service-latency percentiles).
+func (c *Conn) Stats() (string, error) {
+	status, payload, err := c.do(server.OpStats, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	if status != server.StatusOK {
+		return "", fmt.Errorf("server: %s", payload)
+	}
+	return string(payload), nil
+}
+
+func (c *Conn) expectOK(status byte, payload []byte, err error) error {
+	if err != nil {
+		return err
+	}
+	if status != server.StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}

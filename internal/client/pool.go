@@ -1,0 +1,73 @@
+package client
+
+import (
+	"sync/atomic"
+
+	"miodb/internal/kvstore"
+)
+
+// Pool spreads callers over several pipelined connections round-robin.
+// One connection already multiplexes many goroutines; a pool adds
+// sockets when a single stream (or the server's per-connection window)
+// becomes the bottleneck.
+type Pool struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// DialPool opens opts.Conns pipelined connections to addr.
+func DialPool(addr string, opts Options) (*Pool, error) {
+	opts = opts.withDefaults()
+	p := &Pool{conns: make([]*Conn, 0, opts.Conns)}
+	for i := 0; i < opts.Conns; i++ {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// conn picks the next connection round-robin.
+func (p *Pool) conn() *Conn {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Get fetches the newest value for key; kvstore.ErrNotFound if absent.
+func (p *Pool) Get(key []byte) ([]byte, error) { return p.conn().Get(key) }
+
+// Put stores a key-value pair.
+func (p *Pool) Put(key, value []byte) error { return p.conn().Put(key, value) }
+
+// Delete removes a key.
+func (p *Pool) Delete(key []byte) error { return p.conn().Delete(key) }
+
+// Batch applies a batch of writes atomically in one round trip.
+func (p *Pool) Batch(ops []kvstore.BatchOp) error { return p.conn().Batch(ops) }
+
+// Scan returns up to limit ordered key-value pairs starting at start.
+func (p *Pool) Scan(start []byte, limit int) ([][2][]byte, error) {
+	return p.conn().Scan(start, limit)
+}
+
+// Stats returns the server's cost-accounting line.
+func (p *Pool) Stats() (string, error) { return p.conn().Stats() }
+
+// Close closes every pooled connection.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

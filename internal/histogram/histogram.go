@@ -131,18 +131,20 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.max
 }
 
-// Snapshot bundles the latency metrics the paper's tables report.
+// Snapshot bundles the latency metrics the paper's tables report, plus
+// the median the service-level benchmarks (netscale) need.
 type Snapshot struct {
-	Count                int64
-	Mean, P90, P99, P999 time.Duration
-	Max                  time.Duration
+	Count                     int64
+	Mean, P50, P90, P99, P999 time.Duration
+	Max                       time.Duration
 }
 
-// Snapshot computes avg/90/99/99.9 percentiles in one pass.
+// Snapshot computes avg/50/90/99/99.9 percentiles in one pass.
 func (h *Histogram) Snapshot() Snapshot {
 	return Snapshot{
 		Count: h.Count(),
 		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
 		P90:   h.Percentile(90),
 		P99:   h.Percentile(99),
 		P999:  h.Percentile(99.9),

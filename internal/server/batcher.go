@@ -1,0 +1,110 @@
+package server
+
+import (
+	"sync"
+
+	"miodb/internal/kvstore"
+)
+
+// submission is one write request (a single Put/Delete or a whole MPUT
+// batch) queued for the shared commit path. respond is invoked exactly
+// once with the outcome; it must not block (connection response queues
+// are sized so an in-flight request can always enqueue its response).
+type submission struct {
+	ops     []kvstore.BatchOp
+	respond func(status byte, payload []byte)
+}
+
+// batcher is the server's cross-connection group-former: every write
+// from every connection funnels through one submission queue, and a
+// single leader goroutine drains whatever has accumulated into one
+// merged WriteBatch. With a group-commit store behind it, the merged
+// batch reaches the commit queue as a single writer, so the engine's
+// leader sees one large group instead of hundreds of single-record
+// commits — the coalescing a fleet of independent connections can never
+// produce on their own.
+//
+// Each submission keeps its own atomicity (its ops are contiguous in the
+// merged batch and the store applies the whole merged batch as one
+// commit); a store-level failure fails every submission in the merge,
+// which is the right call — the only errors left after decode-time
+// validation are whole-store conditions (degraded mode, closed).
+type batcher struct {
+	store  kvstore.Store
+	ch     chan submission
+	maxOps int
+
+	wg sync.WaitGroup
+}
+
+// newBatcher sizes the queue to the server's global pending limit so a
+// token-holding submitter never blocks on the channel send.
+func newBatcher(store kvstore.Store, queueCap, maxOps int) *batcher {
+	b := &batcher{
+		store:  store,
+		ch:     make(chan submission, queueCap),
+		maxOps: maxOps,
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// submit queues one write. The caller must hold a global pending token,
+// which guarantees channel capacity.
+func (b *batcher) submit(sub submission) {
+	b.ch <- sub
+}
+
+func (b *batcher) run() {
+	defer b.wg.Done()
+	subs := make([]submission, 0, 64)
+	for first := range b.ch {
+		subs = append(subs[:0], first)
+		nops := len(first.ops)
+		// Opportunistic merge: take everything already queued, up to
+		// maxOps. No timer — waiting would add latency without adding
+		// coalescing, because while the store commits this merge the
+		// next one accumulates behind it (the same leader/follower
+		// dynamic as the engine's own group commit, one level up).
+		for nops < b.maxOps {
+			select {
+			case sub, ok := <-b.ch:
+				if !ok {
+					nops = b.maxOps // queue closed: commit what we have
+					continue
+				}
+				subs = append(subs, sub)
+				nops += len(sub.ops)
+			default:
+				nops = b.maxOps
+			}
+		}
+		var merged []kvstore.BatchOp
+		if len(subs) == 1 {
+			merged = subs[0].ops
+		} else {
+			merged = make([]kvstore.BatchOp, 0, nops)
+			for _, s := range subs {
+				merged = append(merged, s.ops...)
+			}
+		}
+		err := applyBatch(b.store, merged)
+		for _, s := range subs {
+			if err != nil {
+				s.respond(StatusError, []byte(err.Error()))
+			} else {
+				s.respond(StatusOK, nil)
+			}
+		}
+	}
+	// Channel closed: the server has drained every connection, so no
+	// submissions can be in flight.
+}
+
+// stop closes the queue after all submitters are done and waits for the
+// leader to finish the tail.
+func (b *batcher) stop() {
+	close(b.ch)
+	b.wg.Wait()
+}

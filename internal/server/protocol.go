@@ -1,12 +1,27 @@
-// Package server provides a minimal TCP key-value service over any store
-// in the repository (MioDB or a baseline), plus the matching client. It
-// turns the single-process reproduction into something a downstream user
-// can actually deploy and benchmark over a network.
+// Package server provides the TCP key-value service over any store in the
+// repository (MioDB or a baseline), plus the matching clients. It turns
+// the single-process reproduction into something a downstream user can
+// actually deploy and benchmark over a network.
 //
-// Wire protocol (all integers little-endian):
+// Two wire formats share the port (all integers little-endian):
+//
+// Legacy (protocol v1), one request in flight per round trip:
 //
 //	request  := op(1) | keyLen(4) | key | valLen(4) | val
 //	response := status(1) | payloadLen(4) | payload
+//
+// Pipelined (protocol v2), negotiated by the client sending the 4-byte
+// magic "MIO2" immediately after connect. Every request carries a
+// client-chosen 8-byte tag; many requests may be in flight per
+// connection and responses return in completion order, each echoing the
+// tag of the request it answers:
+//
+//	request  := tag(8) | op(1) | keyLen(4) | key | valLen(4) | val
+//	response := tag(8) | status(1) | payloadLen(4) | payload
+//
+// The magic's first byte (0x4D, 'M') is outside the op-code range, so a
+// server can sniff the version from the first byte of a connection.
+// internal/client speaks v2; the Client in this package speaks v1.
 //
 // For SCAN, key is the start key and val carries the 4-byte limit; the
 // response payload is a sequence of keyLen|key|valLen|val pairs.
@@ -29,9 +44,12 @@ const (
 	OpStats
 	// OpMPut applies a batch of writes atomically in one round trip. The
 	// request key frame is empty; the value frame carries the batch payload
-	// (see encodeBatchPayload). Batches feed the store's group-commit
+	// (see EncodeBatchPayload). Batches feed the store's group-commit
 	// pipeline directly when it implements kvstore.BatchWriter.
 	OpMPut
+
+	// opCount bounds the op-code space for per-op accounting tables.
+	opCount = OpMPut + 1
 )
 
 // Status codes.
@@ -41,8 +59,34 @@ const (
 	StatusError
 )
 
+// MagicV2 is the preamble a pipelined (protocol v2) client sends right
+// after connect. Its first byte is distinct from every op code.
+var MagicV2 = [4]byte{'M', 'I', 'O', '2'}
+
 // maxFrame bounds any key/value/payload length on the wire.
 const maxFrame = 64 << 20
+
+// validOp reports whether b is a defined op code.
+func validOp(b byte) bool { return b >= OpGet && b <= OpMPut }
+
+// opName names an op code for stats lines.
+func opName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpStats:
+		return "stats"
+	case OpMPut:
+		return "mput"
+	}
+	return fmt.Sprintf("op%d", op)
+}
 
 // writeFrame writes one length-prefixed byte string.
 func writeFrame(w io.Writer, b []byte) error {
@@ -78,17 +122,24 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return b, nil
 }
 
+// appendFrame appends one length-prefixed byte string to dst.
+func appendFrame(dst, b []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, b...)
+}
+
 // request is one decoded client request.
 type request struct {
 	op       byte
 	key, val []byte
 }
 
-func readRequest(r io.Reader) (request, error) {
-	var op [1]byte
-	if _, err := io.ReadFull(r, op[:]); err != nil {
-		return request{}, err
-	}
+// readRequestBody reads the key/value frames that follow an already-read
+// op byte — shared by the legacy reader (which reads the op itself) and
+// the v2 reader (which reads tag+op first).
+func readRequestBody(op byte, r io.Reader) (request, error) {
 	key, err := readFrame(r)
 	if err != nil {
 		return request{}, err
@@ -97,7 +148,15 @@ func readRequest(r io.Reader) (request, error) {
 	if err != nil {
 		return request{}, err
 	}
-	return request{op: op[0], key: key, val: val}, nil
+	return request{op: op, key: key, val: val}, nil
+}
+
+func readRequest(r io.Reader) (request, error) {
+	var op [1]byte
+	if _, err := io.ReadFull(r, op[:]); err != nil {
+		return request{}, err
+	}
+	return readRequestBody(op[0], r)
 }
 
 func writeRequest(w io.Writer, op byte, key, val []byte) error {
@@ -126,12 +185,70 @@ func readResponse(r io.Reader) (byte, []byte, error) {
 	return status[0], payload, err
 }
 
-// encodeBatchPayload packs an MPUT batch:
+// AppendTaggedRequest appends one protocol-v2 request frame to dst and
+// returns the extended slice. Encoding into a single buffer lets callers
+// hand the whole frame to the transport in one write.
+func AppendTaggedRequest(dst []byte, tag uint64, op byte, key, val []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], tag)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, op)
+	dst = appendFrame(dst, key)
+	return appendFrame(dst, val)
+}
+
+// taggedRequest is one decoded v2 request.
+type taggedRequest struct {
+	tag uint64
+	request
+}
+
+// readTaggedRequest decodes one v2 request frame.
+func readTaggedRequest(r io.Reader) (taggedRequest, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return taggedRequest{}, err
+	}
+	tag := binary.LittleEndian.Uint64(hdr[:8])
+	op := hdr[8]
+	if !validOp(op) {
+		return taggedRequest{}, fmt.Errorf("server: unknown op 0x%02x in tagged request", op)
+	}
+	req, err := readRequestBody(op, r)
+	if err != nil {
+		return taggedRequest{}, err
+	}
+	return taggedRequest{tag: tag, request: req}, nil
+}
+
+// appendTaggedResponse appends one v2 response frame to dst.
+func appendTaggedResponse(dst []byte, tag uint64, status byte, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], tag)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, status)
+	return appendFrame(dst, payload)
+}
+
+// ReadTaggedResponse decodes one v2 response frame: the tag of the
+// request it answers, the status, and the payload.
+func ReadTaggedResponse(r io.Reader) (tag uint64, status byte, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	tag = binary.LittleEndian.Uint64(hdr[:8])
+	status = hdr[8]
+	payload, err = readFrame(r)
+	return tag, status, payload, err
+}
+
+// EncodeBatchPayload packs an MPUT batch:
 //
 //	count(4) | per op: flags(1) | keyLen(4) | key | valLen(4) | val
 //
 // flags bit 0 marks a delete (the value frame is then empty).
-func encodeBatchPayload(ops []kvstore.BatchOp) []byte {
+func EncodeBatchPayload(ops []kvstore.BatchOp) []byte {
 	size := 4
 	for _, op := range ops {
 		size += 9 + len(op.Key) + len(op.Value)
@@ -156,8 +273,8 @@ func encodeBatchPayload(ops []kvstore.BatchOp) []byte {
 	return out
 }
 
-// decodeBatchPayload unpacks an MPUT batch.
-func decodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
+// DecodeBatchPayload unpacks an MPUT batch.
+func DecodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
 	if len(b) < 4 {
 		return nil, fmt.Errorf("server: truncated batch payload")
 	}
@@ -174,7 +291,7 @@ func decodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
 		flags := b[0]
 		kl := binary.LittleEndian.Uint32(b[1:5])
 		b = b[5:]
-		if uint32(len(b)) < kl+4 {
+		if uint32(len(b)) < kl+4 || kl > maxFrame {
 			return nil, fmt.Errorf("server: truncated batch key")
 		}
 		k := b[:kl]
@@ -194,8 +311,8 @@ func decodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
 	return ops, nil
 }
 
-// encodeScanPayload packs scan results as keyLen|key|valLen|val pairs.
-func encodeScanPayload(pairs [][2][]byte) []byte {
+// EncodeScanPayload packs scan results as keyLen|key|valLen|val pairs.
+func EncodeScanPayload(pairs [][2][]byte) []byte {
 	size := 0
 	for _, p := range pairs {
 		size += 8 + len(p[0]) + len(p[1])
@@ -213,8 +330,8 @@ func encodeScanPayload(pairs [][2][]byte) []byte {
 	return out
 }
 
-// decodeScanPayload unpacks scan results.
-func decodeScanPayload(b []byte) ([][2][]byte, error) {
+// DecodeScanPayload unpacks scan results.
+func DecodeScanPayload(b []byte) ([][2][]byte, error) {
 	var out [][2][]byte
 	for len(b) > 0 {
 		if len(b) < 4 {
@@ -222,7 +339,7 @@ func decodeScanPayload(b []byte) ([][2][]byte, error) {
 		}
 		kl := binary.LittleEndian.Uint32(b)
 		b = b[4:]
-		if uint32(len(b)) < kl+4 {
+		if uint32(len(b)) < kl+4 || kl > maxFrame {
 			return nil, fmt.Errorf("server: truncated scan key")
 		}
 		k := b[:kl]

@@ -1,29 +1,99 @@
 package server
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
+	"miodb/internal/histogram"
 	"miodb/internal/kvstore"
 )
 
-// Server serves a kvstore.Store over TCP, one goroutine per connection.
-type Server struct {
-	store kvstore.Store
-	ln    net.Listener
-
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+// Options tunes the pipelined front end. The zero value takes defaults.
+type Options struct {
+	// Window caps in-flight requests per pipelined connection. A
+	// connection whose client stops consuming responses fills its
+	// window and stops being read — backpressure lands on the slow
+	// consumer, never on the server or its neighbors. Default 128.
+	Window int
+	// MaxPending caps requests being processed at once across all
+	// connections (the global admission limit in front of the store).
+	// Default 4096.
+	MaxPending int
+	// MaxBatchOps caps how many operations the cross-connection
+	// batcher merges into one store commit. Default 4096.
+	MaxBatchOps int
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// to complete before force-closing connections. Default 5s.
+	DrainTimeout time.Duration
 }
 
-// New wraps a store.
-func New(store kvstore.Store) *Server {
-	return &Server{store: store, conns: map[net.Conn]struct{}{}}
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 128
+	}
+	if o.MaxPending <= 0 {
+		o.MaxPending = 4096
+	}
+	if o.MaxBatchOps <= 0 {
+		o.MaxBatchOps = 4096
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server serves a kvstore.Store over TCP. Legacy (v1) connections run
+// one request per round trip; pipelined (v2) connections are split into
+// a reader goroutine (decodes and dispatches) and a writer goroutine
+// (serializes tagged responses), so handling never blocks the socket.
+// Writes from every connection funnel through one shared batcher that
+// feeds the store's group-commit pipeline (see batcher.go).
+type Server struct {
+	store kvstore.Store
+	opts  Options
+	ln    net.Listener
+	batch *batcher
+
+	// pendingSem holds one token per request currently being processed
+	// (global admission control); inflight tracks the same population
+	// for Close's drain phase.
+	pendingSem chan struct{}
+	inflight   sync.WaitGroup
+
+	// lat records service time (decode-complete to response-enqueued)
+	// per op type; the stats op reports p50/p99/p99.9 per op.
+	lat [opCount]*histogram.Histogram
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	wg     sync.WaitGroup // accept loop + per-connection reader/writer goroutines
+}
+
+// New wraps a store with default options.
+func New(store kvstore.Store) *Server { return NewWithOptions(store, Options{}) }
+
+// NewWithOptions wraps a store with explicit front-end tuning.
+func NewWithOptions(store kvstore.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		store:      store,
+		opts:       opts,
+		conns:      map[*conn]struct{}{},
+		pendingSem: make(chan struct{}, opts.MaxPending),
+	}
+	for i := range s.lat {
+		s.lat[i] = histogram.New()
+	}
+	s.batch = newBatcher(store, opts.MaxPending, opts.MaxBatchOps)
+	return s
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
@@ -42,76 +112,338 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
-		conn, err := s.ln.Accept()
+		nc, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		c := &conn{
+			srv:    s,
+			nc:     nc,
+			br:     bufio.NewReaderSize(nc, 64<<10),
+			closed: make(chan struct{}),
 		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			nc.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[c] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serve(conn)
+		go s.serve(c)
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
+// conn is one client connection in either protocol mode.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	// Pipelined mode only:
+	writeCh chan tresp    // responses awaiting serialization (cap Window)
+	window  chan struct{} // in-flight slots (cap Window)
+	ops     sync.WaitGroup
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// tresp is one tagged response queued for the write loop.
+type tresp struct {
+	tag     uint64
+	status  byte
+	payload []byte
+}
+
+// shutdown force-closes the connection (idempotent). Blocked reads and
+// writes error out; goroutines selecting on c.closed exit.
+func (c *conn) shutdown() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+	})
+}
+
+// enqueue hands a response to the write loop. Capacity Window and the
+// one-response-per-in-flight-request invariant make the send
+// non-blocking on a live connection; on a dead one the response drops.
+func (c *conn) enqueue(r tresp) {
+	select {
+	case c.writeCh <- r:
+	case <-c.closed:
+	}
+}
+
+// serve sniffs the protocol version from the first byte: a v2 client
+// leads with the "MIO2" magic, whose first byte is outside the op-code
+// range; anything else is a legacy request stream.
+func (s *Server) serve(c *conn) {
 	defer s.wg.Done()
-	defer func() {
-		conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-	}()
-	for {
-		req, err := readRequest(conn)
-		if err != nil {
-			return // disconnect or malformed stream
+	first, err := c.br.ReadByte()
+	if err != nil {
+		c.shutdown()
+		s.forget(c)
+		return
+	}
+	if first == MagicV2[0] {
+		var rest [3]byte
+		if _, err := io.ReadFull(c.br, rest[:]); err != nil ||
+			rest != [3]byte{MagicV2[1], MagicV2[2], MagicV2[3]} {
+			c.shutdown()
+			s.forget(c)
+			return
 		}
-		if err := s.handle(conn, req); err != nil {
+		s.servePipelined(c)
+		return
+	}
+	c.br.UnreadByte()
+	s.serveLegacy(c)
+}
+
+func (s *Server) forget(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// servePipelined is the v2 read loop: decode, admit (per-connection
+// window, then global pending limit), dispatch. It never writes to the
+// socket; the write loop owns that side.
+func (s *Server) servePipelined(c *conn) {
+	c.writeCh = make(chan tresp, s.opts.Window)
+	c.window = make(chan struct{}, s.opts.Window)
+	s.wg.Add(1)
+	go c.writeLoop()
+
+	for {
+		req, err := readTaggedRequest(c.br)
+		if err != nil {
+			break // disconnect, malformed stream, or drain deadline
+		}
+		select {
+		case c.window <- struct{}{}:
+		case <-c.closed:
+			goto out
+		}
+		select {
+		case s.pendingSem <- struct{}{}:
+		case <-c.closed:
+			goto out
+		}
+		s.inflight.Add(1)
+		c.ops.Add(1)
+		s.dispatch(c, req)
+	}
+out:
+	// Let every dispatched request finish and enqueue its response,
+	// then close the queue so the write loop flushes the tail and
+	// tears the socket down.
+	go func() {
+		c.ops.Wait()
+		close(c.writeCh)
+	}()
+	s.forget(c)
+}
+
+// writeLoop is the single writer for a pipelined connection: it drains
+// queued responses, coalescing everything ready into one socket write,
+// and releases window slots once responses are on the wire.
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	buf := make([]byte, 0, 16<<10)
+	for {
+		var r tresp
+		var ok bool
+		select {
+		case r, ok = <-c.writeCh:
+			if !ok {
+				c.shutdown()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+		buf = appendTaggedResponse(buf[:0], r.tag, r.status, r.payload)
+		n := 1
+	coalesce:
+		for len(buf) < 256<<10 {
+			select {
+			case r2, ok2 := <-c.writeCh:
+				if !ok2 {
+					break coalesce
+				}
+				buf = appendTaggedResponse(buf, r2.tag, r2.status, r2.payload)
+				n++
+			default:
+				break coalesce
+			}
+		}
+		if _, err := c.nc.Write(buf); err != nil {
+			c.shutdown()
+			return
+		}
+		for i := 0; i < n; i++ {
+			<-c.window
+		}
+	}
+}
+
+// dispatch routes one admitted request. Writes go to the shared batcher
+// (the reader blocks only on admission, never on the commit); reads run
+// in their own goroutine so a device-bound Get cannot stall decoding.
+// done fires exactly once per request and releases everything the
+// request holds.
+func (s *Server) dispatch(c *conn, req taggedRequest) {
+	t0 := time.Now()
+	op := req.op
+	done := func(status byte, payload []byte) {
+		s.lat[op].Record(time.Since(t0))
+		c.enqueue(tresp{tag: req.tag, status: status, payload: payload})
+		<-s.pendingSem
+		s.inflight.Done()
+		c.ops.Done()
+	}
+	switch op {
+	case OpPut:
+		if len(req.key) == 0 {
+			done(StatusError, []byte("put: empty key"))
+			return
+		}
+		s.batch.submit(submission{
+			ops:     []kvstore.BatchOp{{Key: req.key, Value: req.val}},
+			respond: done,
+		})
+	case OpDelete:
+		if len(req.key) == 0 {
+			done(StatusError, []byte("delete: empty key"))
+			return
+		}
+		s.batch.submit(submission{
+			ops:     []kvstore.BatchOp{{Key: req.key, Delete: true}},
+			respond: done,
+		})
+	case OpMPut:
+		ops, err := DecodeBatchPayload(req.val)
+		if err != nil {
+			done(StatusError, []byte(err.Error()))
+			return
+		}
+		for _, o := range ops {
+			if len(o.Key) == 0 {
+				done(StatusError, []byte("mput: empty key"))
+				return
+			}
+		}
+		if len(ops) == 0 {
+			done(StatusOK, nil)
+			return
+		}
+		s.batch.submit(submission{ops: ops, respond: done})
+	default:
+		go func() {
+			status, payload := s.handleRead(req.request)
+			done(status, payload)
+		}()
+	}
+}
+
+// serveLegacy is the v1 loop: one request, one synchronous response.
+// Writes still route through the shared batcher, so even legacy
+// connections contribute to (and benefit from) cross-connection
+// group commit.
+func (s *Server) serveLegacy(c *conn) {
+	defer func() {
+		c.shutdown()
+		s.forget(c)
+	}()
+	bw := bufio.NewWriterSize(c.nc, 32<<10)
+	for {
+		req, err := readRequest(c.br)
+		if err != nil {
+			return
+		}
+		select {
+		case s.pendingSem <- struct{}{}:
+		case <-c.closed:
+			return
+		}
+		s.inflight.Add(1)
+		t0 := time.Now()
+		status, payload := s.process(req)
+		if validOp(req.op) {
+			s.lat[req.op].Record(time.Since(t0))
+		}
+		<-s.pendingSem
+		s.inflight.Done()
+		if err := writeResponse(bw, status, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(conn net.Conn, req request) error {
+// process executes one request synchronously (the legacy path).
+func (s *Server) process(req request) (byte, []byte) {
+	switch req.op {
+	case OpPut, OpDelete, OpMPut:
+		var ops []kvstore.BatchOp
+		switch req.op {
+		case OpPut:
+			if len(req.key) == 0 {
+				return StatusError, []byte("put: empty key")
+			}
+			ops = []kvstore.BatchOp{{Key: req.key, Value: req.val}}
+		case OpDelete:
+			if len(req.key) == 0 {
+				return StatusError, []byte("delete: empty key")
+			}
+			ops = []kvstore.BatchOp{{Key: req.key, Delete: true}}
+		case OpMPut:
+			var err error
+			ops, err = DecodeBatchPayload(req.val)
+			if err != nil {
+				return StatusError, []byte(err.Error())
+			}
+			for _, o := range ops {
+				if len(o.Key) == 0 {
+					return StatusError, []byte("mput: empty key")
+				}
+			}
+			if len(ops) == 0 {
+				return StatusOK, nil
+			}
+		}
+		ch := make(chan tresp, 1)
+		s.batch.submit(submission{ops: ops, respond: func(status byte, payload []byte) {
+			ch <- tresp{status: status, payload: payload}
+		}})
+		r := <-ch
+		return r.status, r.payload
+	default:
+		return s.handleRead(req)
+	}
+}
+
+// handleRead serves the non-mutating ops (and rejects unknown ones).
+func (s *Server) handleRead(req request) (byte, []byte) {
 	switch req.op {
 	case OpGet:
 		v, err := s.store.Get(req.key)
 		switch {
 		case err == nil:
-			return writeResponse(conn, StatusOK, v)
+			return StatusOK, v
 		case errors.Is(err, kvstore.ErrNotFound):
-			return writeResponse(conn, StatusNotFound, nil)
+			return StatusNotFound, nil
 		default:
-			return writeResponse(conn, StatusError, []byte(err.Error()))
+			return StatusError, []byte(err.Error())
 		}
-	case OpPut:
-		if err := s.store.Put(req.key, req.val); err != nil {
-			return writeResponse(conn, StatusError, []byte(err.Error()))
-		}
-		return writeResponse(conn, StatusOK, nil)
-	case OpDelete:
-		if err := s.store.Delete(req.key); err != nil {
-			return writeResponse(conn, StatusError, []byte(err.Error()))
-		}
-		return writeResponse(conn, StatusOK, nil)
-	case OpMPut:
-		ops, err := decodeBatchPayload(req.val)
-		if err != nil {
-			return writeResponse(conn, StatusError, []byte(err.Error()))
-		}
-		if err := applyBatch(s.store, ops); err != nil {
-			return writeResponse(conn, StatusError, []byte(err.Error()))
-		}
-		return writeResponse(conn, StatusOK, nil)
 	case OpScan:
 		if len(req.val) != 4 {
-			return writeResponse(conn, StatusError, []byte("scan: missing limit"))
+			return StatusError, []byte("scan: missing limit")
 		}
 		limit := int(binary.LittleEndian.Uint32(req.val))
 		var pairs [][2][]byte
@@ -123,36 +455,62 @@ func (s *Server) handle(conn net.Conn, req request) error {
 			return true
 		})
 		if err != nil {
-			return writeResponse(conn, StatusError, []byte(err.Error()))
+			return StatusError, []byte(err.Error())
 		}
-		return writeResponse(conn, StatusOK, encodeScanPayload(pairs))
+		return StatusOK, EncodeScanPayload(pairs)
 	case OpStats:
-		st := s.store.Stats()
-		payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d"+
-			" bloom_probes=%d bloom_skips=%d bloom_fps=%d bloom_fp_rate=%.4f"+
-			" live_versions=%d pending_releases=%d read_epoch=%d versions_swept=%d",
-			st.Puts, st.Gets, st.Deletes, st.Scans, st.WriteAmplification,
-			int64(st.IntervalStall), int64(st.CumulativeStall),
-			st.BloomProbes, st.BloomSkips, st.BloomFalsePositives, st.BloomFalsePositiveRate,
-			st.LiveVersions, st.PendingReleases, st.ReadEpoch, st.VersionsSwept)
-		// A sharded store reports its partition count and per-shard op
-		// tallies so a client can see the routing balance.
-		if len(st.Shards) > 0 {
-			payload += fmt.Sprintf(" shards=%d", len(st.Shards))
-			for i, sh := range st.Shards {
-				payload += fmt.Sprintf(" shard%d_ops=%d", i, sh.Puts+sh.Gets+sh.Deletes+sh.Scans)
-			}
-		}
-		return writeResponse(conn, StatusOK, []byte(payload))
+		return StatusOK, []byte(s.statsLine())
 	default:
-		return writeResponse(conn, StatusError, []byte("unknown op"))
+		return StatusError, []byte("unknown op")
 	}
 }
 
-// applyBatch hands a decoded MPUT to the store. Stores with a batch write
-// path (MioDB's group-commit pipeline) get the whole batch in one commit —
-// one WAL append, consecutive sequence numbers; others fall back to
-// per-operation writes, which keeps every kvstore.Store servable.
+// statsLine renders the store's cost accounting plus the server's own
+// per-op service-latency percentiles, so a plain client sees the same
+// numbers the netscale benchmark reports.
+func (s *Server) statsLine() string {
+	st := s.store.Stats()
+	payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d"+
+		" bloom_probes=%d bloom_skips=%d bloom_fps=%d bloom_fp_rate=%.4f"+
+		" live_versions=%d pending_releases=%d read_epoch=%d versions_swept=%d",
+		st.Puts, st.Gets, st.Deletes, st.Scans, st.WriteAmplification,
+		int64(st.IntervalStall), int64(st.CumulativeStall),
+		st.BloomProbes, st.BloomSkips, st.BloomFalsePositives, st.BloomFalsePositiveRate,
+		st.LiveVersions, st.PendingReleases, st.ReadEpoch, st.VersionsSwept)
+	if st.WriteGroups > 0 {
+		payload += fmt.Sprintf(" write_groups=%d grouped_writes=%d mean_group_size=%.2f",
+			st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)
+	}
+	// A sharded store reports its partition count and per-shard op
+	// tallies so a client can see the routing balance.
+	if len(st.Shards) > 0 {
+		payload += fmt.Sprintf(" shards=%d", len(st.Shards))
+		for i, sh := range st.Shards {
+			payload += fmt.Sprintf(" shard%d_ops=%d", i, sh.Puts+sh.Gets+sh.Deletes+sh.Scans)
+		}
+	}
+	// Service latency per op type, from the server's own histograms.
+	for op := byte(OpGet); op < opCount; op++ {
+		h := s.lat[op]
+		if h.Count() == 0 {
+			continue
+		}
+		snap := h.Snapshot()
+		name := opName(op)
+		payload += fmt.Sprintf(" lat_%s_count=%d lat_%s_p50_us=%.1f lat_%s_p99_us=%.1f lat_%s_p999_us=%.1f",
+			name, snap.Count,
+			name, snap.P50.Seconds()*1e6,
+			name, snap.P99.Seconds()*1e6,
+			name, snap.P999.Seconds()*1e6)
+	}
+	return payload
+}
+
+// applyBatch hands a merged batch to the store. Stores with a batch
+// write path (MioDB's group-commit pipeline) get the whole batch in one
+// commit — one WAL append, consecutive sequence numbers; others fall
+// back to per-operation writes, which keeps every kvstore.Store
+// servable.
 func applyBatch(store kvstore.Store, ops []kvstore.BatchOp) error {
 	if bw, ok := store.(kvstore.BatchWriter); ok {
 		return bw.WriteBatch(ops)
@@ -171,8 +529,10 @@ func applyBatch(store kvstore.Store, ops []kvstore.BatchOp) error {
 	return nil
 }
 
-// Close stops accepting, closes every connection, and waits for handlers.
-// The underlying store is not closed (the caller owns it).
+// Close drains gracefully: stop accepting, stop reading new requests,
+// let in-flight requests complete (bounded by DrainTimeout), flush
+// their responses, then tear connections down. The underlying store is
+// not closed (the caller owns it).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -180,25 +540,66 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+
 	if s.ln != nil {
 		s.ln.Close()
 	}
-	s.wg.Wait()
+	// Phase 1: wake every blocked read so the readers stop admitting
+	// new requests. Requests already admitted keep running.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	// Phase 2: bounded wait for in-flight requests to finish.
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	timeout := time.NewTimer(s.opts.DrainTimeout)
+	defer timeout.Stop()
+	select {
+	case <-drained:
+	case <-timeout.C:
+	}
+	// Phase 3: wait for the write loops to flush the drained responses
+	// and exit; force-close stragglers after a second bounded wait.
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	force := time.NewTimer(s.opts.DrainTimeout)
+	defer force.Stop()
+	select {
+	case <-finished:
+	case <-force.C:
+		for _, c := range conns {
+			c.shutdown()
+		}
+		<-finished
+	}
+	// No connection goroutine is left, so nothing can submit: stop the
+	// batcher after it finishes the queued tail.
+	s.batch.stop()
 	return nil
 }
 
-// Client is a synchronous client for one connection. It is safe for
-// serialized use; open one client per goroutine for concurrency.
+// Client is a synchronous protocol-v1 client for one connection: one
+// request in flight per round trip. It is kept for backward
+// compatibility and as the non-pipelined reference point; use
+// internal/client for the pipelined client. It is safe for serialized
+// use; open one client per goroutine for concurrency.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 }
 
-// Dial connects to a server.
+// Dial connects to a server with the legacy protocol.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -267,7 +668,7 @@ func (c *Client) MPut(ops []kvstore.BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	status, payload, err := c.roundTrip(OpMPut, nil, encodeBatchPayload(ops))
+	status, payload, err := c.roundTrip(OpMPut, nil, EncodeBatchPayload(ops))
 	if err != nil {
 		return err
 	}
@@ -288,7 +689,7 @@ func (c *Client) Scan(start []byte, limit int) ([][2][]byte, error) {
 	if status != StatusOK {
 		return nil, fmt.Errorf("server: %s", payload)
 	}
-	return decodeScanPayload(payload)
+	return DecodeScanPayload(payload)
 }
 
 // Stats returns the server's cost-accounting line.

@@ -242,7 +242,7 @@ func TestBatchPayloadRoundTrip(t *testing.T) {
 		{Key: []byte("big"), Value: bytes.Repeat([]byte("v"), 4096)},
 		{Key: []byte("empty"), Value: nil},
 	}
-	out, err := decodeBatchPayload(encodeBatchPayload(in))
+	out, err := DecodeBatchPayload(EncodeBatchPayload(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestBatchPayloadRoundTrip(t *testing.T) {
 		}
 	}
 	for _, bad := range [][]byte{{1}, {1, 0, 0, 0}, {1, 0, 0, 0, 0, 5, 0, 0, 0}} {
-		if _, err := decodeBatchPayload(bad); err == nil {
+		if _, err := DecodeBatchPayload(bad); err == nil {
 			t.Errorf("truncated batch payload %v accepted", bad)
 		}
 	}
@@ -267,7 +267,7 @@ func TestScanPayloadRoundTrip(t *testing.T) {
 		{[]byte(""), []byte("")},
 		{[]byte("key"), bytes.Repeat([]byte("v"), 1000)},
 	}
-	out, err := decodeScanPayload(encodeScanPayload(in))
+	out, err := DecodeScanPayload(EncodeScanPayload(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestScanPayloadRoundTrip(t *testing.T) {
 			t.Fatalf("pair %d mismatch", i)
 		}
 	}
-	if _, err := decodeScanPayload([]byte{1, 2}); err == nil {
+	if _, err := DecodeScanPayload([]byte{1, 2}); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }
