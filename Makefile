@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale profile repro clean
+.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale bench-stability profile repro clean
 
 all: check
 
@@ -35,20 +35,27 @@ bench-concurrent:
 	$(GO) test ./internal/bench -run xxx -bench ConcurrentWrites -benchtime 1x
 
 # Multi-reader throughput sweep (epoch-pinned reads vs mutex-refcount
-# ablation, read-only + YCSB-B/C mixes, 1..16 threads).
+# ablation, read-only + YCSB-B/C mixes, 1..16 threads); also writes the
+# machine-readable BENCH_readscale.json artifact to the repo root.
 bench-readscale:
-	$(GO) test ./internal/bench -run xxx -bench ConcurrentReads -benchtime 1x
+	$(GO) run ./cmd/miodb-repro -experiment readscale -json_dir .
 
 # Shard-scaling sweep (fill + readrandom vs shard count, 8 threads);
-# emits the EXPERIMENTS.md shard table via the experiment runner.
+# emits the EXPERIMENTS.md shard table and BENCH_shardscale.json.
 bench-shardscale:
-	$(GO) run ./cmd/miodb-repro -experiment shardscale
+	$(GO) run ./cmd/miodb-repro -experiment shardscale -json_dir .
 
 # Network front-end sweep (loopback connections × pipeline window vs a
 # window=1 ablation and a local 8-writer reference); also writes the
 # machine-readable BENCH_netscale.json artifact to the repo root.
 bench-netscale:
 	$(GO) run ./cmd/miodb-repro -experiment netscale -json_dir .
+
+# Sustained-fill stability: throughput-over-time and tail traces for
+# MioDB (unbounded vs admission-bounded) against the baselines; writes
+# BENCH_stability.json with the per-bin timelines.
+bench-stability:
+	$(GO) run ./cmd/miodb-repro -experiment stability -json_dir .
 
 # Capture mutex/block contention profiles from 8-thread read-only
 # readscale runs of both read-path arms (epoch-pinned and the

@@ -18,6 +18,7 @@ import (
 
 	"miodb/internal/bench"
 	"miodb/internal/core"
+	"miodb/internal/stats"
 )
 
 func main() {
@@ -37,6 +38,8 @@ func main() {
 		zipfian    = flag.Bool("zipfian", false, "use zipfian keys for concurrent fills (default uniform)")
 		noGroup    = flag.Bool("no_group_commit", false, "disable miodb's group-commit pipeline (serialized write path)")
 		mutexReads = flag.Bool("mutex_reads", false, "disable miodb's lock-free read path (mutex-refcount version pinning)")
+		softImms   = flag.Int("soft_imms", 0, "miodb admission control: throttle commits at this imms backlog (0 = off)")
+		hardImms   = flag.Int("hard_imms", 0, "miodb admission control: block commits at this imms backlog (0 = off)")
 		jsonOut    = flag.String("json", "", "write a machine-readable record of every run to this path")
 		reps       = flag.Int("reps", 1, "repetitions per benchmark (reported best; all reps recorded in -json output)")
 	)
@@ -62,6 +65,9 @@ func main() {
 	}
 	if *mutexReads {
 		cfg.EpochReads = core.Bool(false)
+	}
+	if *softImms > 0 || *hardImms > 0 {
+		cfg.Admission = &core.AdmissionOptions{SoftImms: *softImms, HardImms: *hardImms}
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {
@@ -158,9 +164,25 @@ func main() {
 			}
 		case "stats":
 			st := s.Stats()
-			fmt.Printf("stats        : WA=%.2f interval-stall=%v cumulative-stall=%v flush=%v×%d serialize=%v deserialize=%v\n",
-				st.WriteAmplification, st.IntervalStall.Round(1e6), st.CumulativeStall.Round(1e6),
+			fmt.Printf("stats        : WA=%.2f interval-stall=%v×%d cumulative-stall=%v flush=%v×%d serialize=%v deserialize=%v\n",
+				st.WriteAmplification, st.IntervalStall.Round(1e6), st.IntervalStalls, st.CumulativeStall.Round(1e6),
 				st.FlushTime.Round(1e6), st.Flushes, st.SerializeTime.Round(1e6), st.DeserializeTime.Round(1e6))
+			// Per-op latency distributions measured inside the store (not
+			// the harness), merged across shards.
+			for op := stats.Op(0); op < stats.NumOps; op++ {
+				snap := st.OpLatencies[op]
+				if snap.Count == 0 {
+					continue
+				}
+				fmt.Printf("  lat %-7s: count=%d p50=%.1fµs p99=%.1fµs p99.9=%.1fµs max=%.1fµs\n",
+					op, snap.Count,
+					snap.P50.Seconds()*1e6, snap.P99.Seconds()*1e6,
+					snap.P999.Seconds()*1e6, snap.Max.Seconds()*1e6)
+			}
+			if st.PendingImms > 0 || st.L0Tables > 0 {
+				fmt.Printf("  backlog: pending-imms=%d (%dKB) l0-tables=%d (%dKB)\n",
+					st.PendingImms, st.PendingImmBytes>>10, st.L0Tables, st.L0Bytes>>10)
+			}
 			if st.WriteGroups > 0 {
 				fmt.Printf("  group commit: %d groups / %d writes (mean group size %.2f)\n",
 					st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)

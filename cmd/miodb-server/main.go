@@ -21,6 +21,7 @@ import (
 	"syscall"
 
 	"miodb/internal/bench"
+	"miodb/internal/core"
 	"miodb/internal/server"
 )
 
@@ -35,6 +36,8 @@ func main() {
 		window   = flag.Int("window", 0, "per-connection in-flight request cap for pipelined connections (0 = default)")
 		pending  = flag.Int("max_pending", 0, "global in-flight request cap across all connections (0 = default)")
 		drain    = flag.Duration("drain_timeout", 0, "how long shutdown waits for in-flight requests (0 = default)")
+		softImms = flag.Int("soft_imms", 0, "miodb admission control: throttle commits at this imms backlog (0 = off)")
+		hardImms = flag.Int("hard_imms", 0, "miodb admission control: block commits at this imms backlog (0 = off)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -42,13 +45,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := bench.OpenStore(bench.Config{
+	cfg := bench.Config{
 		Kind:         bench.StoreKind(*store),
 		MemTableSize: *memtable,
 		Shards:       *shards,
 		SSD:          *ssd,
 		Simulate:     *simulate,
-	})
+	}
+	if *softImms > 0 || *hardImms > 0 {
+		cfg.Admission = &core.AdmissionOptions{SoftImms: *softImms, HardImms: *hardImms}
+	}
+	s, err := bench.OpenStore(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open store:", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 
 	"miodb/internal/bench"
 	"miodb/internal/histogram"
+	"miodb/internal/stats"
 )
 
 func main() {
@@ -75,6 +76,17 @@ func main() {
 	}
 
 	st := s.Stats()
-	fmt.Printf("WA=%.2f interval-stall=%v cumulative-stall=%v\n",
-		st.WriteAmplification, st.IntervalStall.Round(1e6), st.CumulativeStall.Round(1e6))
+	fmt.Printf("WA=%.2f interval-stall=%v×%d cumulative-stall=%v\n",
+		st.WriteAmplification, st.IntervalStall.Round(1e6), st.IntervalStalls, st.CumulativeStall.Round(1e6))
+	// The store's own per-op distributions (the harness percentiles above
+	// measure whole YCSB ops, which may bundle a read and a write).
+	for op := stats.Op(0); op < stats.NumOps; op++ {
+		snap := st.OpLatencies[op]
+		if snap.Count == 0 {
+			continue
+		}
+		fmt.Printf("lat %-7s: count=%d p50=%.1fµs p99=%.1fµs p99.9=%.1fµs\n",
+			op, snap.Count,
+			snap.P50.Seconds()*1e6, snap.P99.Seconds()*1e6, snap.P999.Seconds()*1e6)
+	}
 }

@@ -29,6 +29,23 @@ type JSONLatency struct {
 	Max  float64 `json:"max"`
 }
 
+// JSONTimelineBin is one wall-clock interval of a latency-over-time
+// trace: the operations issued during it and their mean/max latency.
+type JSONTimelineBin struct {
+	StartMs float64 `json:"start_ms"`
+	Ops     int64   `json:"ops"`
+	MeanUs  float64 `json:"mean_us"`
+	MaxUs   float64 `json:"max_us"`
+}
+
+// JSONTimeline is a throughput/latency-over-time trace (Fig 8 shape):
+// per-bin op counts double as a throughput-over-time series and the
+// max column exposes stall-induced tail spikes.
+type JSONTimeline struct {
+	BinMs float64           `json:"bin_ms"`
+	Bins  []JSONTimelineBin `json:"bins"`
+}
+
 // JSONResult is one measured cell of a benchmark sweep.
 type JSONResult struct {
 	Name    string                 `json:"name"`
@@ -37,6 +54,9 @@ type JSONResult struct {
 	Ops     int64                  `json:"ops"`
 	KIOPS   JSONKIOPS              `json:"kiops"`
 	Latency *JSONLatency           `json:"latency_us,omitempty"`
+	// Timeline holds the best rep's latency-over-time trace when the
+	// run recorded one (the stability experiment always does).
+	Timeline *JSONTimeline `json:"timeline,omitempty"`
 	// Extra carries sweep-specific scalars (e.g. mean group-commit size).
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
@@ -94,6 +114,20 @@ func (r *JSONReport) AddRuns(name string, config map[string]interface{}, runs []
 			P99:  l.P99.Seconds() * 1e6,
 			P999: l.P999.Seconds() * 1e6,
 			Max:  l.Max.Seconds() * 1e6,
+		}
+	}
+	if best.Timeline != nil {
+		if bins := best.Timeline.Bins(); len(bins) > 0 {
+			tl := &JSONTimeline{BinMs: best.Timeline.BinWidth().Seconds() * 1e3}
+			for _, b := range bins {
+				tl.Bins = append(tl.Bins, JSONTimelineBin{
+					StartMs: b.Start.Seconds() * 1e3,
+					Ops:     b.Count,
+					MeanUs:  b.Mean.Seconds() * 1e6,
+					MaxUs:   b.Max.Seconds() * 1e6,
+				})
+			}
+			res.Timeline = tl
 		}
 	}
 	r.Results = append(r.Results, res)

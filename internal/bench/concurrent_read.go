@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -150,6 +151,9 @@ func ReadScale(p Params) (*Report, error) {
 	// Best-of-three per cell, as in the concurrent-write experiment:
 	// scheduler noise on small hosts swamps single-shot runs.
 	const reps = 3
+	jr := NewJSONReport("readscale", map[string]interface{}{
+		"entries": n, "ops": ops, "value_size": valueSize, "reps": reps,
+	})
 	for _, wl := range workloads {
 		rows := [][]string{}
 		for _, threads := range []int{1, 2, 4, 8, 16} {
@@ -160,6 +164,7 @@ func ReadScale(p Params) (*Report, error) {
 					fpRate float64
 					swept  int64
 				}
+				var runs []RunResult
 				for rep := 0; rep < reps; rep++ {
 					s, err := OpenStore(arm.cfg)
 					if err != nil {
@@ -188,12 +193,19 @@ func ReadScale(p Params) (*Report, error) {
 					}
 					st := s.Stats()
 					s.Close()
+					runs = append(runs, res)
 					if res.KIOPS > best {
 						best = res.KIOPS
 						bestStats.fpRate = st.BloomFalsePositiveRate
 						bestStats.swept = st.VersionsSwept
 					}
 				}
+				jr.AddRuns(
+					fmt.Sprintf("%s/threads=%d/%s", wl.name, threads, arm.name),
+					map[string]interface{}{"workload": wl.name, "threads": threads, "arm": arm.name},
+					runs,
+					map[string]float64{"bloom_fp_rate": bestStats.fpRate},
+				)
 				row = append(row, f1(best))
 				if arm.name == "miodb" {
 					row = append(row, fmt.Sprintf("%.3f", bestStats.fpRate))
@@ -205,5 +217,12 @@ func ReadScale(p Params) (*Report, error) {
 		r.Printf("(%s, %d entries preloaded, %d ops, best of %d runs)", wl.name, n, ops, reps)
 	}
 	r.Printf("shape: with one reader the arms coincide (an uncontended mutex costs little more than an epoch announce). As threads grow, the epoch arm scales with core count while the mutex arm flattens — every acquire/release serializes on db.mu against all other readers, and in the mixed runs against writers and compaction too. The bloom-fp column is the measured filter false-positive rate during the run. The miodb-sh4 arm partitions the same build over 4 engines; reads were already lock-free, so sharding mostly helps the mixed workloads, where each shard's writers contend on a quarter of the keyspace.")
+	if p.JSONDir != "" {
+		path := filepath.Join(p.JSONDir, "BENCH_readscale.json")
+		if err := jr.Write(path); err != nil {
+			return nil, fmt.Errorf("write %s: %w", path, err)
+		}
+		r.Printf("wrote %s", path)
+	}
 	return r, nil
 }

@@ -89,6 +89,7 @@ func Experiments() []Experiment {
 		{"readscale", "Multi-reader throughput: epoch-pinned reads vs mutex-refcount", ReadScale},
 		{"shardscale", "Sharded store: fill/readrandom throughput vs shard count", ShardScale},
 		{"netscale", "Pipelined network front end: connections × window sweep over loopback", NetScale},
+		{"stability", "Sustained-fill stability: throughput over time, tail traces, backlog vs admission control", Stability},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},
 		{"extra-escan", "Bonus: workload E before vs after compactions settle (§5.2 claim)", ExtraScanSettle},
 		{"extra-novelsm", "Bonus: NoveLSM flat vs hierarchical vs NoSST (§3.1 claim)", ExtraNoveLSMVariants},
@@ -255,7 +256,7 @@ func Table1CostAnalysis(p Params) (*Report, error) {
 		s.Close()
 	}
 	r.Table([]string{"store", "interval-stall-ms", "cumulative-stall-ms", "deserialize-ms", "flushing-ms", "WA"}, rows)
-	r.Printf("shape: MioDB shows zero interval stalls, near-zero cumulative stalls and deserialization, far faster flushing, and WA ≈ 3 (paper: 2.9× vs 5.6×/6.6×).")
+	r.Printf("shape: MioDB's measured stall counters stay at or near zero (its writers rotate into the elastic buffer instead of waiting — run -experiment stability to see the deferred backlog), deserialization is near-zero, flushing far faster, and WA ≈ 3 (paper: 2.9× vs 5.6×/6.6×).")
 	return r, nil
 }
 

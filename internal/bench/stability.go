@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"miodb/internal/core"
+	"miodb/internal/histogram"
+)
+
+// Stability is the sustained-fill stability experiment behind the
+// backlog-aware admission controller: throughput-over-time and tail
+// traces for MioDB with and without admission control, against the
+// baselines whose write stalls the paper measures. The unbounded arm
+// shows the paper's trade honestly — flat latency, zero stalls, but a
+// backlog gauge that grows with the burst — while the bounded arm keeps
+// the backlog at its threshold and pays for it with measured stall time.
+func Stability(p Params) (*Report, error) {
+	p = p.norm()
+	r := NewReport("stability", "Sustained-fill stability: throughput over time, tails, backlog vs admission", p.Out)
+	const valueSize = 4 << 10
+	const binWidth = 20 * time.Millisecond
+	n := p.entries(valueSize)
+	arms := []struct {
+		name string
+		cfg  Config
+	}{
+		{"miodb", Config{Kind: MioDB, Simulate: true}},
+		{"miodb-bounded", Config{Kind: MioDB, Simulate: true,
+			Admission: &core.AdmissionOptions{SoftImms: 4, HardImms: 8}}},
+		{"novelsm", Config{Kind: NoveLSM, Simulate: true}},
+		{"matrixkv", Config{Kind: MatrixKV, Simulate: true}},
+	}
+	jr := NewJSONReport("stability", map[string]interface{}{
+		"entries": n, "value_size": valueSize, "bin_ms": binWidth.Seconds() * 1e3,
+	})
+	rows := [][]string{}
+	for _, arm := range arms {
+		s, err := OpenStore(arm.cfg)
+		if err != nil {
+			return nil, err
+		}
+		tl := histogram.NewTimeline(binWidth)
+
+		// Sample the backlog gauges while the fill runs: the peak is the
+		// elastic-buffer debt the writer deferred instead of stalling.
+		var (
+			sampleWG  sync.WaitGroup
+			sampleDie = make(chan struct{})
+			peakImms  int64
+			peakBytes int64
+		)
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampleDie:
+					return
+				case <-tick.C:
+					st := s.Stats()
+					if st.PendingImms > peakImms {
+						peakImms = st.PendingImms
+					}
+					if st.PendingImmBytes > peakBytes {
+						peakBytes = st.PendingImmBytes
+					}
+				}
+			}
+		}()
+
+		res, err := FillRandom(s, n, uint64(n), valueSize, p.Seed, tl)
+		close(sampleDie)
+		sampleWG.Wait()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("%s: %w", arm.name, err)
+		}
+		st := s.Stats()
+		s.Close()
+
+		cv := throughputCV(tl)
+		l := res.Latency
+		rows = append(rows, []string{
+			arm.name, f1(res.KIOPS), f2(cv), fmt.Sprintf("%.1f", tl.SpikeFactor()),
+			usec(l.P50), usec(l.P99), usec(l.P999), usec(l.Max),
+			fmt.Sprintf("%d", st.IntervalStalls), msec(st.IntervalStall), msec(st.CumulativeStall),
+			fmt.Sprintf("%d", peakImms),
+		})
+		jr.AddRuns(arm.name,
+			map[string]interface{}{"arm": arm.name, "ops": n},
+			[]RunResult{res},
+			map[string]float64{
+				"throughput_cv":       cv,
+				"spike_factor":        tl.SpikeFactor(),
+				"interval_stalls":     float64(st.IntervalStalls),
+				"interval_stall_ms":   st.IntervalStall.Seconds() * 1e3,
+				"cumulative_stall_ms": st.CumulativeStall.Seconds() * 1e3,
+				"peak_pending_imms":   float64(peakImms),
+				"peak_pending_bytes":  float64(peakBytes),
+			},
+		)
+		r.Printf("%-14s trace: %s", arm.name, tl.Sparkline())
+	}
+	r.Table([]string{"arm", "KIOPS", "tput-cv", "spike", "p50-µs", "p99-µs", "p99.9-µs", "max-µs",
+		"stalls", "stall-ms", "throttle-ms", "peak-imms"}, rows)
+	r.Printf("(%d entries, %d B values, sustained fillrandom, %s bins; tput-cv = stddev/mean of per-bin op counts; peak-imms sampled every 2 ms)", n, valueSize, binWidth)
+	r.Printf("shape: unbounded MioDB records zero stalls because bursts rotate into the elastic buffer — the deferred cost shows up as peak-imms, not stall counters — and its throughput variance and spike factor sit well below the baselines'. The bounded arm trades a measured throttle/stall budget for a backlog capped at its thresholds. The baselines show the classic stall signature: periodic throughput troughs (NoveLSM's trace goes flat while its memtables drain) and measured interval stalls.")
+
+	if p.JSONDir != "" {
+		path := filepath.Join(p.JSONDir, "BENCH_stability.json")
+		if err := jr.Write(path); err != nil {
+			return nil, fmt.Errorf("write %s: %w", path, err)
+		}
+		r.Printf("wrote %s", path)
+	}
+	return r, nil
+}
+
+// throughputCV summarizes a timeline's throughput variability as the
+// coefficient of variation (stddev/mean) of per-bin op counts. The last
+// bin is dropped — it is almost always partial. A stall-free store sits
+// near 0; periodic write stalls push it up.
+func throughputCV(tl *histogram.Timeline) float64 {
+	bins := tl.Bins()
+	if len(bins) > 1 {
+		bins = bins[:len(bins)-1]
+	}
+	if len(bins) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range bins {
+		sum += float64(b.Count)
+	}
+	mean := sum / float64(len(bins))
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, b := range bins {
+		d := float64(b.Count) - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(len(bins))) / mean
+}

@@ -59,6 +59,11 @@ type Config struct {
 	// TimeScale scales injected latencies.
 	TimeScale float64
 
+	// Admission bounds MioDB's elastic-buffer backlog (nil = the paper's
+	// stall-free unbounded rotation; baselines ignore it). The stability
+	// experiment uses it to compare bounded vs unbounded arms.
+	Admission *core.AdmissionOptions
+
 	// MioDB ablation switches (nil = paper defaults).
 	ParallelCompaction *bool
 	ZeroCopyMerge      *bool
@@ -136,6 +141,7 @@ func OpenStore(c Config) (Store, error) {
 			GroupCommit:        c.GroupCommit,
 			EpochReads:         c.EpochReads,
 			DisableWAL:         c.DisableWAL,
+			Admission:          c.Admission,
 		}
 		if c.DisableBloom {
 			opts.BloomBitsPerKey = -1

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"miodb/internal/nvm"
+)
+
+// admissionOpts builds a store whose flush path can be slowed through the
+// NVM device's fault-plan brake while the foreground write path stays
+// fast: the WAL is off (its appends would pay the brake too) and the
+// memtable is tiny so a short burst forces many rotations.
+func admissionOpts(ac *AdmissionOptions) Options {
+	return Options{
+		MemTableSize:   4 << 10,
+		ChunkSize:      16 << 10,
+		Levels:         3,
+		FilterCapacity: 1 << 12,
+		DisableWAL:     true,
+		Admission:      ac,
+	}
+}
+
+// burstWrites drives writes much faster than the braked flush path can
+// retire them, sampling the imms backlog gauge as it goes. Returns the
+// peak observed backlog.
+func burstWrites(t *testing.T, db *DB, n int) int64 {
+	t.Helper()
+	value := make([]byte, 256)
+	var peak int64
+	for i := 0; i < n; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), value); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		if i%20 == 0 {
+			if imms := db.Stats().PendingImms; imms > peak {
+				peak = imms
+			}
+		}
+	}
+	if imms := db.Stats().PendingImms; imms > peak {
+		peak = imms
+	}
+	return peak
+}
+
+func scanAll(t *testing.T, db *DB) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if err := db.Scan(nil, 0, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestBacklogGaugeRisesWithoutAdmission: with the default (nil) admission
+// config, a write burst that outruns a slowed flush path must show up in
+// the PendingImms gauge — the unbounded elastic-buffer debt the paper's
+// stall-free result quietly accumulates — while both stall counters stay
+// zero (the writer never waited).
+func TestBacklogGaugeRisesWithoutAdmission(t *testing.T) {
+	db := mustOpen(t, admissionOpts(nil))
+	defer db.Close()
+	_, dev := db.Devices()
+	dev.SetFaultPlan(nvm.NewFaultPlan(1).DelayWrites(1<<10, 2*time.Millisecond))
+	defer dev.SetFaultPlan(nil)
+
+	peak := burstWrites(t, db, 600)
+	if peak < 8 {
+		t.Errorf("peak PendingImms = %d, want ≥8 (backlog should grow without bound)", peak)
+	}
+	st := db.Stats()
+	if st.IntervalStalls != 0 || st.IntervalStall != 0 || st.CumulativeStall != 0 {
+		t.Errorf("admission off must never stall: intervals=%d (%v) cumulative=%v",
+			st.IntervalStalls, st.IntervalStall, st.CumulativeStall)
+	}
+	if st.PendingImmBytes == 0 && st.PendingImms > 0 {
+		t.Error("PendingImmBytes gauge empty while imms are queued")
+	}
+	// Lift the brake so Close's drain runs at full speed.
+	dev.SetFaultPlan(nil)
+}
+
+// TestAdmissionBoundsBacklogAndRecordsStalls: with the hard band on
+// (soft off, so unthrottled writes slam straight into the bound), the
+// same burst must keep the imms queue bounded at HardImms and every
+// block must be visible as a measured interval stall.
+func TestAdmissionBoundsBacklogAndRecordsStalls(t *testing.T) {
+	const hard = 4
+	db := mustOpen(t, admissionOpts(&AdmissionOptions{HardImms: hard}))
+	defer db.Close()
+	_, dev := db.Devices()
+	dev.SetFaultPlan(nvm.NewFaultPlan(1).DelayWrites(1<<10, 5*time.Millisecond))
+	defer dev.SetFaultPlan(nil)
+
+	peak := burstWrites(t, db, 600)
+	// admitWrite checks before rotation, so the queue can reach HardImms
+	// but never grow past it.
+	if peak > hard {
+		t.Errorf("peak PendingImms = %d with HardImms=%d: backlog not bounded", peak, hard)
+	}
+	st := db.Stats()
+	if st.IntervalStalls == 0 || st.IntervalStall == 0 {
+		t.Errorf("hard admission blocks not recorded: %d stalls, %v", st.IntervalStalls, st.IntervalStall)
+	}
+	if st.CumulativeStall != 0 {
+		t.Errorf("soft band disabled but cumulative stall = %v", st.CumulativeStall)
+	}
+	dev.SetFaultPlan(nil)
+}
+
+// TestAdmissionSoftThrottleRecordsCumulativeStall: with only the soft
+// band on, a braked flush keeps the backlog at or above the threshold,
+// so commits pay (and record) throttling delays — cumulative stall time
+// measured on the write path, never the blocking interval counter.
+func TestAdmissionSoftThrottleRecordsCumulativeStall(t *testing.T) {
+	db := mustOpen(t, admissionOpts(&AdmissionOptions{SoftImms: 1}))
+	defer db.Close()
+	_, dev := db.Devices()
+	dev.SetFaultPlan(nvm.NewFaultPlan(1).DelayWrites(1<<10, 5*time.Millisecond))
+	defer dev.SetFaultPlan(nil)
+
+	burstWrites(t, db, 300)
+	st := db.Stats()
+	if st.CumulativeStall == 0 {
+		t.Error("soft throttling delays not recorded")
+	}
+	if st.IntervalStalls != 0 {
+		t.Errorf("soft-only config recorded %d interval stalls", st.IntervalStalls)
+	}
+	dev.SetFaultPlan(nil)
+}
+
+// TestAdmissionOffMatchesDefault: Admission=nil and an admission-enabled
+// store must agree on every stored byte after the same workload — the
+// controller only schedules writes, it never changes what they write.
+// The nil arm also re-checks the structural invariant that today's
+// default records no stalls at all.
+func TestAdmissionOffMatchesDefault(t *testing.T) {
+	withAC := mustOpen(t, admissionOpts(&AdmissionOptions{SoftImms: 2, HardImms: 4}))
+	defer withAC.Close()
+	without := mustOpen(t, admissionOpts(nil))
+	defer without.Close()
+
+	value := make([]byte, 128)
+	for i := 0; i < 300; i++ {
+		k := []byte(fmt.Sprintf("k%05d", i))
+		if err := withAC.Put(k, value); err != nil {
+			t.Fatal(err)
+		}
+		if err := without.Put(k, value); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := withAC.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			if err := without.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, b := scanAll(t, withAC), scanAll(t, without)
+	if len(a) != len(b) {
+		t.Fatalf("content diverged: %d keys with admission, %d without", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("key %q: %q with admission, %q without", k, v, b[k])
+		}
+	}
+	if st := without.Stats(); st.IntervalStalls != 0 || st.CumulativeStall != 0 {
+		t.Errorf("default path recorded stalls: %d / %v", st.IntervalStalls, st.CumulativeStall)
+	}
+}
+
+// TestAdmissionDefaults: withDefaults must fill SlowdownDelay without
+// mutating the caller's literal (shards share one Options value).
+func TestAdmissionDefaults(t *testing.T) {
+	ac := &AdmissionOptions{HardImms: 8}
+	o := Options{Admission: ac}.withDefaults()
+	if o.Admission.SlowdownDelay != defaultSlowdownDelay {
+		t.Errorf("SlowdownDelay = %v, want %v", o.Admission.SlowdownDelay, defaultSlowdownDelay)
+	}
+	if ac.SlowdownDelay != 0 {
+		t.Error("withDefaults mutated the caller's AdmissionOptions")
+	}
+	o2 := (Options{}).withDefaults()
+	if o2.Admission != nil {
+		t.Error("defaults invented an admission config")
+	}
+}

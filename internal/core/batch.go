@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"miodb/internal/keys"
 	"miodb/internal/kvstore"
+	"miodb/internal/stats"
 )
 
 // Batch collects writes for atomic application: either every operation in
@@ -70,7 +72,14 @@ func (db *DB) Write(b *Batch) error {
 			return fmt.Errorf("miodb: empty key in batch")
 		}
 	}
-	return db.commit(b.ops)
+	start := time.Now()
+	err := db.commit(b.ops)
+	if err == nil {
+		// One commit sample per batch (on top of commit's per-record
+		// put/delete samples): the latency an MPUT caller experienced.
+		db.st.RecordOp(stats.OpCommit, time.Since(start))
+	}
+	return err
 }
 
 // WriteBatch applies a batch given as kvstore operations — the adapter
@@ -91,5 +100,10 @@ func (db *DB) WriteBatch(ops []kvstore.BatchOp) error {
 			bops[i] = batchOp{key: op.Key, value: op.Value, kind: keys.KindSet}
 		}
 	}
-	return db.commit(bops)
+	start := time.Now()
+	err := db.commit(bops)
+	if err == nil {
+		db.st.RecordOp(stats.OpCommit, time.Since(start))
+	}
+	return err
 }

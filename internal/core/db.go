@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"miodb/internal/iterx"
 	"miodb/internal/keys"
@@ -266,7 +267,9 @@ func (db *DB) Delete(key []byte) error {
 // write is the client write path: the operation joins the group-commit
 // queue and returns once a leader has logged and inserted it. MioDB's
 // elastic buffer means it never throttles or blocks on compaction here —
-// the property behind the flat latency trace of Fig 8.
+// the property behind the flat latency trace of Fig 8 — unless
+// Options.Admission bounds the backlog, in which case any wait is
+// recorded as a measured stall (see admission.go).
 func (db *DB) write(key, value []byte, kind keys.Kind) error {
 	if len(key) == 0 {
 		return fmt.Errorf("miodb: empty key")
@@ -296,12 +299,36 @@ func opsBytes(ops []batchOp) int {
 	return n
 }
 
-// commit enqueues ops and parks until they are durable and visible.
+// commit times one client write request end to end — queue wait, any
+// admission throttling, WAL append, memtable insert — and charges every
+// record with the measured latency under its own op type. Recording per
+// record (not per batch) keeps the put/delete distributions meaningful
+// under group commit: each rider experienced the group's latency.
+func (db *DB) commit(ops []batchOp) error {
+	start := time.Now()
+	err := db.commitOps(ops)
+	if err == nil {
+		d := time.Since(start)
+		var puts, deletes int64
+		for _, op := range ops {
+			if op.kind == keys.KindDelete {
+				deletes++
+			} else {
+				puts++
+			}
+		}
+		db.st.RecordOpN(stats.OpPut, d, puts)
+		db.st.RecordOpN(stats.OpDelete, d, deletes)
+	}
+	return err
+}
+
+// commitOps enqueues ops and parks until they are durable and visible.
 // The queue head acts as leader: it snapshots a prefix of the queue (up
 // to maxGroupBytes), commits the combined group under commitMu, then
 // pops the group and hands leadership to the new head. Followers return
 // the group's shared result without touching the WAL or memtable.
-func (db *DB) commit(ops []batchOp) error {
+func (db *DB) commitOps(ops []batchOp) error {
 	if !*db.opts.GroupCommit {
 		return db.commitSerial(ops)
 	}
@@ -404,6 +431,9 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	if err := db.writeGate(); err != nil {
 		return err
 	}
+	if err := db.admitWrite(); err != nil {
+		return err
+	}
 	if err := db.makeRoomForWrite(); err != nil {
 		return err
 	}
@@ -502,6 +532,9 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	defer db.commitMu.Unlock()
 
 	if err := db.writeGate(); err != nil {
+		return err
+	}
+	if err := db.admitWrite(); err != nil {
 		return err
 	}
 	if err := db.makeRoomForWrite(); err != nil {
@@ -607,6 +640,17 @@ func (db *DB) makeRoomForWrite() error {
 // past the first check either bails here or finishes against a snapshot
 // Close has not torn down yet.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	start := time.Now()
+	value, err := db.get(key)
+	if err != ErrClosed {
+		// The striped recorder keeps this off the readers' shared locks —
+		// the same trick as the epoch slots.
+		db.st.RecordOp(stats.OpGet, time.Since(start))
+	}
+	return value, err
+}
+
+func (db *DB) get(key []byte) ([]byte, error) {
 	if db.closedFlag.Load() {
 		return nil, ErrClosed
 	}
@@ -778,6 +822,7 @@ func (it *Iterator) Close() {
 // to fn alias store memory and are only valid during the callback.
 // Like Get, the scan never touches db.mu.
 func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) error {
+	t0 := time.Now()
 	it := db.NewIterator()
 	defer it.Close()
 	if it.err != nil {
@@ -793,6 +838,9 @@ func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) err
 		}
 		n++
 	}
+	// One sample per scan, covering the whole range (snapshot pin through
+	// last key) — the latency a server-side SCAN request experiences.
+	db.st.RecordOp(stats.OpScan, time.Since(t0))
 	return nil
 }
 
@@ -932,6 +980,7 @@ func (db *DB) Stats() stats.Snapshot {
 	}
 	live, pending, epoch := db.versionChainGauge()
 	s.AttachReadPath(levels, live, pending, epoch)
+	db.attachBacklog(&s)
 	return s
 }
 

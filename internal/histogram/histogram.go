@@ -22,19 +22,20 @@ const (
 )
 
 // Histogram records durations and answers percentile queries. It is safe
-// for concurrent Record calls.
+// for concurrent Record calls. The zero value is an empty histogram ready
+// for use, so histograms can be embedded by value (stats.Recorder does).
 type Histogram struct {
 	mu      sync.Mutex
 	buckets [bucketCount]int64
 	count   int64
 	sum     time.Duration
-	min     time.Duration
+	min     time.Duration // valid only when count > 0
 	max     time.Duration
 }
 
 // New returns an empty histogram.
 func New() *Histogram {
-	return &Histogram{min: math.MaxInt64}
+	return &Histogram{}
 }
 
 func bucketFor(d time.Duration) int {
@@ -57,20 +58,39 @@ func bucketValue(i int) time.Duration {
 }
 
 // Record adds one sample.
-func (h *Histogram) Record(d time.Duration) {
+func (h *Histogram) Record(d time.Duration) { h.RecordN(d, 1) }
+
+// RecordN adds n samples of the same duration under one lock acquisition —
+// the group-commit write path records one measured latency for every
+// record that rode the same commit.
+func (h *Histogram) RecordN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
 	h.mu.Lock()
-	h.buckets[bucketFor(d)]++
-	h.count++
-	h.sum += d
-	if d < h.min {
+	h.buckets[bucketFor(d)] += n
+	if h.count == 0 || d < h.min {
 		h.min = d
 	}
+	h.count += n
+	h.sum += d * time.Duration(n)
 	if d > h.max {
 		h.max = d
 	}
+	h.mu.Unlock()
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.buckets = [bucketCount]int64{}
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
 	h.mu.Unlock()
 }
 
@@ -101,55 +121,116 @@ func (h *Histogram) Max() time.Duration {
 	return h.max
 }
 
-// Percentile returns the approximate latency at quantile p in [0,100].
-// The answer is the representative value of the bucket containing the
-// p-th sample (≤5% relative error), clamped to the observed min/max.
-func (h *Histogram) Percentile(p float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+// percentileFrom answers a quantile query against raw bucket counts.
+// p is clamped to [0,100]; the answer is the representative value of the
+// bucket containing the p-th sample (≤5% relative error), clamped to the
+// observed [min, max] — so a single-sample histogram (min == max) reports
+// that sample exactly at every quantile.
+func percentileFrom(buckets []int64, count int64, min, max time.Duration, p float64) time.Duration {
+	if count == 0 {
 		return 0
 	}
-	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(count)))
 	if rank < 1 {
 		rank = 1
 	}
 	var seen int64
-	for i, c := range h.buckets {
+	for i, c := range buckets {
 		seen += c
 		if seen >= rank {
 			v := bucketValue(i)
-			if v < h.min {
-				v = h.min
+			if v < min {
+				v = min
 			}
-			if v > h.max {
-				v = h.max
+			if v > max {
+				v = max
 			}
 			return v
 		}
 	}
-	return h.max
+	return max
+}
+
+// Percentile returns the approximate latency at quantile p; p outside
+// [0,100] is clamped (an out-of-range query answers the nearest valid one
+// instead of walking past the last bucket).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return percentileFrom(h.buckets[:], h.count, h.min, h.max, p)
 }
 
 // Snapshot bundles the latency metrics the paper's tables report, plus
-// the median the service-level benchmarks (netscale) need.
+// the median the service-level benchmarks (netscale) need. Buckets carries
+// the raw counts (nil when Count == 0) so snapshots from different shards
+// merge without percentile-of-percentile error.
 type Snapshot struct {
 	Count                     int64
 	Mean, P50, P90, P99, P999 time.Duration
-	Max                       time.Duration
+	Min, Max                  time.Duration
+	Sum                       time.Duration
+	Buckets                   []int64 `json:"-"`
 }
 
-// Snapshot computes avg/50/90/99/99.9 percentiles in one pass.
+// Snapshot computes count/avg/min/max and all percentiles atomically
+// under one lock acquisition, so concurrent Record calls can never yield
+// a torn view (e.g. p50 > p99, or a count inconsistent with the mean).
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Percentile(50),
-		P90:   h.Percentile(90),
-		P99:   h.Percentile(99),
-		P999:  h.Percentile(99.9),
-		Max:   h.Max(),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return Snapshot{}
 	}
+	return makeSnapshot(h.buckets[:], h.count, h.sum, h.min, h.max)
+}
+
+// makeSnapshot derives the full metric bundle from raw histogram state,
+// copying the bucket counts so the snapshot stays immutable.
+func makeSnapshot(buckets []int64, count int64, sum, min, max time.Duration) Snapshot {
+	s := Snapshot{Count: count, Sum: sum, Min: min, Max: max}
+	if count == 0 {
+		return s
+	}
+	s.Mean = sum / time.Duration(count)
+	s.P50 = percentileFrom(buckets, count, min, max, 50)
+	s.P90 = percentileFrom(buckets, count, min, max, 90)
+	s.P99 = percentileFrom(buckets, count, min, max, 99)
+	s.P999 = percentileFrom(buckets, count, min, max, 99.9)
+	s.Buckets = append([]int64(nil), buckets...)
+	return s
+}
+
+// Merge combines two snapshots into the snapshot of the union of their
+// samples, recomputing mean and percentiles from the merged bucket counts
+// (exact to bucket resolution — not a lossy percentile-of-percentiles).
+// Shard aggregation uses this to report store-wide per-op latencies.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	buckets := make([]int64, bucketCount)
+	copy(buckets, s.Buckets)
+	for i, c := range o.Buckets {
+		buckets[i] += c
+	}
+	min := s.Min
+	if o.Min < min {
+		min = o.Min
+	}
+	max := s.Max
+	if o.Max > max {
+		max = o.Max
+	}
+	return makeSnapshot(buckets, s.Count+o.Count, s.Sum+o.Sum, min, max)
 }
 
 // String renders the snapshot in the paper's Table 2 layout.
@@ -193,6 +274,9 @@ func (t *Timeline) Record(d time.Duration) {
 	}
 	t.mu.Unlock()
 }
+
+// BinWidth returns the timeline's bin width.
+func (t *Timeline) BinWidth() time.Duration { return t.width }
 
 // Bin is one timeline interval.
 type Bin struct {

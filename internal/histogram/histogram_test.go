@@ -156,6 +156,148 @@ func TestTimelineFlatProfile(t *testing.T) {
 	}
 }
 
+func TestZeroValueHistogram(t *testing.T) {
+	// The zero value must behave like New(): stats.Recorder embeds
+	// histograms by value without a constructor.
+	var h Histogram
+	if h.Count() != 0 || h.Percentile(50) != 0 {
+		t.Error("zero-value histogram not empty")
+	}
+	h.Record(3 * time.Microsecond)
+	h.Record(9 * time.Microsecond)
+	s := h.Snapshot()
+	if s.Count != 2 || s.Min != 3*time.Microsecond || s.Max != 9*time.Microsecond {
+		t.Errorf("zero-value after records: %+v", s)
+	}
+}
+
+func TestRecordNAndReset(t *testing.T) {
+	var h Histogram
+	h.RecordN(5*time.Microsecond, 10)
+	h.RecordN(time.Microsecond, 0)  // no-op
+	h.RecordN(time.Microsecond, -3) // no-op
+	s := h.Snapshot()
+	if s.Count != 10 || s.Mean != 5*time.Microsecond || s.Min != 5*time.Microsecond {
+		t.Errorf("RecordN snapshot: %+v", s)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset left samples behind")
+	}
+	h.Record(time.Microsecond)
+	if got := h.Snapshot(); got.Count != 1 || got.Min != time.Microsecond {
+		t.Errorf("post-Reset snapshot: %+v", got)
+	}
+}
+
+func TestPercentileOutOfRangeClamped(t *testing.T) {
+	h := New()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got, want := h.Percentile(-10), h.Percentile(0); got != want {
+		t.Errorf("Percentile(-10) = %v, want Percentile(0) = %v", got, want)
+	}
+	if got, want := h.Percentile(250), h.Percentile(100); got != want {
+		t.Errorf("Percentile(250) = %v, want Percentile(100) = %v", got, want)
+	}
+	if h.Percentile(250) > h.Max() {
+		t.Errorf("Percentile(250) = %v exceeds Max = %v", h.Percentile(250), h.Max())
+	}
+}
+
+func TestSingleSamplePercentiles(t *testing.T) {
+	// With one sample min == max: every quantile must answer that sample
+	// exactly, regardless of which bucket boundary it falls on.
+	for _, d := range []time.Duration{1, 777, time.Microsecond, 3*time.Millisecond + 1} {
+		var h Histogram
+		h.Record(d)
+		for _, p := range []float64{0, 50, 99, 99.9, 100, -5, 200} {
+			if got := h.Percentile(p); got != d {
+				t.Errorf("single sample %v: Percentile(%v) = %v", d, p, got)
+			}
+		}
+		s := h.Snapshot()
+		if s.P50 != d || s.P999 != d || s.Min != d || s.Max != d || s.Mean != d {
+			t.Errorf("single sample %v: snapshot %+v", d, s)
+		}
+	}
+}
+
+// TestSnapshotMonotoneUnderConcurrentRecord is the regression test for
+// the torn-snapshot bug: Snapshot used to acquire the mutex separately
+// for Count/Mean/each Percentile/Max, so concurrent Record calls could
+// yield p50 > p99 or a count inconsistent with the mean. The whole
+// snapshot is now computed under one lock; its percentiles must be
+// monotone no matter how hard writers race it.
+func TestSnapshotMonotoneUnderConcurrentRecord(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := time.Duration(1<<uint(4*g)) * time.Microsecond
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Record(d + time.Duration(i%1000)*time.Nanosecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 || s.P999 > s.Max {
+			t.Fatalf("torn snapshot: p50=%v p90=%v p99=%v p99.9=%v max=%v",
+				s.P50, s.P90, s.P99, s.P999, s.Max)
+		}
+		if s.Min > s.P50 || s.Mean > s.Max || s.Mean < s.Min {
+			t.Fatalf("inconsistent snapshot: min=%v mean=%v max=%v p50=%v",
+				s.Min, s.Mean, s.Max, s.P50)
+		}
+		if s.Mean != s.Sum/time.Duration(s.Count) {
+			t.Fatalf("mean %v inconsistent with sum %v / count %d", s.Mean, s.Sum, s.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	got := a.Snapshot().Merge(b.Snapshot())
+	want := whole.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum ||
+		got.Min != want.Min || got.Max != want.Max ||
+		got.Mean != want.Mean || got.P50 != want.P50 ||
+		got.P90 != want.P90 || got.P99 != want.P99 || got.P999 != want.P999 {
+		t.Errorf("merged snapshot differs from whole:\n got %+v\nwant %+v", got, want)
+	}
+	// Merging with an empty side is the identity.
+	if m := got.Merge(Snapshot{}); m.Count != got.Count || m.P99 != got.P99 {
+		t.Errorf("merge with empty changed the snapshot: %+v", m)
+	}
+	if m := (Snapshot{}).Merge(got); m.Count != got.Count || m.P999 != got.P999 {
+		t.Errorf("empty merged with full lost data: %+v", m)
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	h := New()
 	h.Record(100 * time.Microsecond)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // ErrInjected is the base error returned by fault-plan triggered failures.
@@ -84,6 +85,9 @@ type FaultPlan struct {
 	crashAfterBytes  int64 // countdown in checked bytes (<0 = off)
 	crashed          bool
 	onCrash          func()
+
+	writeDelay    time.Duration // per-checked-write brake (0 = off)
+	writeDelayMin int           // brake only writes of at least this many bytes
 
 	stats FaultStats
 }
@@ -170,6 +174,20 @@ func (p *FaultPlan) CrashAfterBytes(n int64) *FaultPlan {
 	return p
 }
 
+// DelayWrites makes every checked write of at least minBytes pay a fixed
+// delay before its verdict — a brake, not a fault: no error is injected
+// and no counter advances beyond the usual CheckedWrites tally. Backlog
+// tests use it to slow the bulk flush path deterministically relative to
+// foreground writes; the size floor lets them spare the small manifest
+// and gate records that share the device (minBytes ≤ 0 brakes them all).
+func (p *FaultPlan) DelayWrites(minBytes int, d time.Duration) *FaultPlan {
+	p.mu.Lock()
+	p.writeDelay = d
+	p.writeDelayMin = minBytes
+	p.mu.Unlock()
+	return p
+}
+
 // SetOnCrash registers a callback invoked exactly once, without the
 // plan's lock held, when a crash trigger fires.
 func (p *FaultPlan) SetOnCrash(fn func()) *FaultPlan {
@@ -212,6 +230,17 @@ func (p *FaultPlan) classifyLocked(err error) error {
 func (p *FaultPlan) CheckWrite(n int) WriteOutcome {
 	if p == nil {
 		return WriteOutcome{Torn: -1}
+	}
+	p.mu.Lock()
+	delay := p.writeDelay
+	if n < p.writeDelayMin {
+		delay = 0
+	}
+	p.mu.Unlock()
+	if delay > 0 {
+		// Outside the plan's lock so concurrent device users stack their
+		// delays in wall time only when they really contend on the device.
+		Spin(delay)
 	}
 	var onCrash func()
 	p.mu.Lock()

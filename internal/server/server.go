@@ -10,8 +10,8 @@ import (
 	"sync"
 	"time"
 
-	"miodb/internal/histogram"
 	"miodb/internal/kvstore"
+	"miodb/internal/stats"
 )
 
 // Options tunes the pipelined front end. The zero value takes defaults.
@@ -67,10 +67,6 @@ type Server struct {
 	pendingSem chan struct{}
 	inflight   sync.WaitGroup
 
-	// lat records service time (decode-complete to response-enqueued)
-	// per op type; the stats op reports p50/p99/p99.9 per op.
-	lat [opCount]*histogram.Histogram
-
 	mu     sync.Mutex
 	conns  map[*conn]struct{}
 	closed bool
@@ -88,9 +84,6 @@ func NewWithOptions(store kvstore.Store, opts Options) *Server {
 		opts:       opts,
 		conns:      map[*conn]struct{}{},
 		pendingSem: make(chan struct{}, opts.MaxPending),
-	}
-	for i := range s.lat {
-		s.lat[i] = histogram.New()
 	}
 	s.batch = newBatcher(store, opts.MaxPending, opts.MaxBatchOps)
 	return s
@@ -296,10 +289,8 @@ func (c *conn) writeLoop() {
 // done fires exactly once per request and releases everything the
 // request holds.
 func (s *Server) dispatch(c *conn, req taggedRequest) {
-	t0 := time.Now()
 	op := req.op
 	done := func(status byte, payload []byte) {
-		s.lat[op].Record(time.Since(t0))
 		c.enqueue(tresp{tag: req.tag, status: status, payload: payload})
 		<-s.pendingSem
 		s.inflight.Done()
@@ -370,11 +361,7 @@ func (s *Server) serveLegacy(c *conn) {
 			return
 		}
 		s.inflight.Add(1)
-		t0 := time.Now()
 		status, payload := s.process(req)
-		if validOp(req.op) {
-			s.lat[req.op].Record(time.Since(t0))
-		}
 		<-s.pendingSem
 		s.inflight.Done()
 		if err := writeResponse(bw, status, payload); err != nil {
@@ -465,9 +452,11 @@ func (s *Server) handleRead(req request) (byte, []byte) {
 	}
 }
 
-// statsLine renders the store's cost accounting plus the server's own
-// per-op service-latency percentiles, so a plain client sees the same
-// numbers the netscale benchmark reports.
+// statsLine renders the store's cost accounting plus the store's per-op
+// latency percentiles, so a plain client sees the same numbers the
+// netscale benchmark and miodb-bench report. The server used to keep
+// its own service-time histograms here; they double-counted what the
+// core already measures and are replaced by the core distributions.
 func (s *Server) statsLine() string {
 	st := s.store.Stats()
 	payload := fmt.Sprintf("puts=%d gets=%d deletes=%d scans=%d wa=%.3f interval_stall_ns=%d cumulative_stall_ns=%d"+
@@ -489,19 +478,33 @@ func (s *Server) statsLine() string {
 			payload += fmt.Sprintf(" shard%d_ops=%d", i, sh.Puts+sh.Gets+sh.Deletes+sh.Scans)
 		}
 	}
-	// Service latency per op type, from the server's own histograms.
-	for op := byte(OpGet); op < opCount; op++ {
-		h := s.lat[op]
-		if h.Count() == 0 {
+	// Per-op latency from the core histograms. The protocol's mput maps
+	// to the store's commit distribution (one sample per applied batch);
+	// put/delete report per-record commit latency.
+	for _, m := range []struct {
+		name string
+		op   stats.Op
+	}{
+		{"get", stats.OpGet},
+		{"put", stats.OpPut},
+		{"delete", stats.OpDelete},
+		{"scan", stats.OpScan},
+		{"mput", stats.OpCommit},
+	} {
+		snap := st.OpLatencies[m.op]
+		if snap.Count == 0 {
 			continue
 		}
-		snap := h.Snapshot()
-		name := opName(op)
 		payload += fmt.Sprintf(" lat_%s_count=%d lat_%s_p50_us=%.1f lat_%s_p99_us=%.1f lat_%s_p999_us=%.1f",
-			name, snap.Count,
-			name, snap.P50.Seconds()*1e6,
-			name, snap.P99.Seconds()*1e6,
-			name, snap.P999.Seconds()*1e6)
+			m.name, snap.Count,
+			m.name, snap.P50.Seconds()*1e6,
+			m.name, snap.P99.Seconds()*1e6,
+			m.name, snap.P999.Seconds()*1e6)
+	}
+	// Backlog gauges: the elastic-buffer debt behind the write path.
+	if st.PendingImms > 0 || st.L0Tables > 0 {
+		payload += fmt.Sprintf(" pending_imms=%d pending_imm_bytes=%d l0_tables=%d l0_bytes=%d",
+			st.PendingImms, st.PendingImmBytes, st.L0Tables, st.L0Bytes)
 	}
 	return payload
 }

@@ -5,9 +5,51 @@
 package stats
 
 import (
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
+
+	"miodb/internal/histogram"
 )
+
+// Op identifies an operation type for per-op latency accounting.
+type Op int
+
+// The op types with their own latency distribution. OpCommit measures
+// whole Write/WriteBatch commits (one sample per batch), while OpPut and
+// OpDelete measure per-record commit latency — each record in a group
+// commit experienced the group's latency, including queue wait.
+const (
+	OpPut Op = iota
+	OpGet
+	OpDelete
+	OpScan
+	OpCommit
+	NumOps
+)
+
+// String names the op the way bench output and the server stats op do.
+func (op Op) String() string {
+	switch op {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpCommit:
+		return "commit"
+	}
+	return "unknown"
+}
+
+// opStripes spreads each op's histogram over several mutexes so the
+// lock-free read path does not re-acquire one global lock per Get just to
+// record its latency (the same trick as core's epoch slots). Must be a
+// power of two.
+const opStripes = 4
 
 // Recorder accumulates cost metrics. All methods are safe for concurrent
 // use; stores share one Recorder across their foreground and background
@@ -49,6 +91,22 @@ type Recorder struct {
 	// Version reclamation: snapshots freed by the epoch (or refcount)
 	// sweep — the lock-free read path's grace-period machinery at work.
 	versionsSwept atomic.Int64
+	// Per-op-type service latency, striped to keep Record cheap on the
+	// concurrent read path. Zero-value histograms, no constructor needed.
+	opLat [NumOps][opStripes]histogram.Histogram
+}
+
+// RecordOp adds one latency sample for the given op type.
+func (r *Recorder) RecordOp(op Op, d time.Duration) { r.RecordOpN(op, d, 1) }
+
+// RecordOpN adds n samples of the same latency for op — the group-commit
+// path charges every record in a batch with the batch's measured latency
+// in one call.
+func (r *Recorder) RecordOpN(op Op, d time.Duration, n int64) {
+	if n <= 0 || op < 0 || op >= NumOps {
+		return
+	}
+	r.opLat[op][rand.Uint32()&(opStripes-1)].RecordN(d, n)
 }
 
 // AddIntervalStall records a full write-path block of duration d.
@@ -162,6 +220,11 @@ func (r *Recorder) Reset() {
 	r.deviceRetries.Store(0)
 	r.backgroundErrors.Store(0)
 	r.versionsSwept.Store(0)
+	for op := range r.opLat {
+		for i := range r.opLat[op] {
+			r.opLat[op][i].Reset()
+		}
+	}
 }
 
 // DeviceCounters mirrors a device's traffic in a snapshot.
@@ -236,6 +299,23 @@ type Snapshot struct {
 	ReadEpoch       uint64
 	VersionsSwept   int64
 
+	// OpLatencies holds the per-op-type service latency distribution,
+	// indexed by Op (OpLatencies[OpGet].P999 is the Get tail), measured
+	// inside the engine so every front end — bench, server stats op,
+	// experiment harness — reports the same numbers.
+	OpLatencies [NumOps]histogram.Snapshot
+
+	// Write-path backlog gauges (attached by the store via AttachBacklog):
+	// the elastic buffer's instantaneous debt. PendingImms counts rotated
+	// memtables awaiting flush (the queue makeRoomForWrite grows without
+	// bound when flushing falls behind) and PendingImmBytes their payload;
+	// L0Tables/L0Bytes measure the flush output the compactor hasn't
+	// merged down yet. Admission control thresholds against these.
+	PendingImms     int64
+	PendingImmBytes int64
+	L0Tables        int64
+	L0Bytes         int64
+
 	// Devices lists per-device traffic; WriteAmplification is total
 	// persistent-device write traffic ÷ user bytes.
 	Devices            []DeviceCounters
@@ -294,8 +374,15 @@ func Aggregate(shards []Snapshot) Snapshot {
 		out.LiveVersions += s.LiveVersions
 		out.PendingReleases += s.PendingReleases
 		out.VersionsSwept += s.VersionsSwept
+		out.PendingImms += s.PendingImms
+		out.PendingImmBytes += s.PendingImmBytes
+		out.L0Tables += s.L0Tables
+		out.L0Bytes += s.L0Bytes
 		if s.ReadEpoch > out.ReadEpoch {
 			out.ReadEpoch = s.ReadEpoch
+		}
+		for op := range s.OpLatencies {
+			out.OpLatencies[op] = out.OpLatencies[op].Merge(s.OpLatencies[op])
 		}
 		for _, l := range s.BloomLevels {
 			for len(levels) <= l.Level {
@@ -356,7 +443,14 @@ func (r *Recorder) Snapshot() Snapshot {
 	if groups > 0 {
 		mean = float64(grouped) / float64(groups)
 	}
+	var lat [NumOps]histogram.Snapshot
+	for op := range r.opLat {
+		for i := range r.opLat[op] {
+			lat[op] = lat[op].Merge(r.opLat[op][i].Snapshot())
+		}
+	}
 	return Snapshot{
+		OpLatencies:      lat,
 		WriteGroups:      groups,
 		GroupedWrites:    grouped,
 		MeanGroupSize:    mean,
@@ -401,6 +495,15 @@ func (s *Snapshot) AttachReadPath(levels []BloomLevelCounters, liveVersions, pen
 	s.LiveVersions = liveVersions
 	s.PendingReleases = pendingReleases
 	s.ReadEpoch = epoch
+}
+
+// AttachBacklog fills the snapshot's write-path backlog gauges; the store
+// reads them off its current version (imms queue + level 0).
+func (s *Snapshot) AttachBacklog(imms, immBytes, l0Tables, l0Bytes int64) {
+	s.PendingImms = imms
+	s.PendingImmBytes = immBytes
+	s.L0Tables = l0Tables
+	s.L0Bytes = l0Bytes
 }
 
 // AttachDevices fills the snapshot's device traffic and computes write

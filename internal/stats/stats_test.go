@@ -69,6 +69,77 @@ func TestAttachDevicesComputesWA(t *testing.T) {
 	}
 }
 
+func TestRecordOpLatencies(t *testing.T) {
+	r := &Recorder{}
+	for i := 1; i <= 100; i++ {
+		r.RecordOp(OpGet, time.Duration(i)*time.Microsecond)
+	}
+	r.RecordOpN(OpPut, 40*time.Microsecond, 8) // one group commit, 8 records
+	r.RecordOpN(OpPut, time.Microsecond, 0)    // no-op
+	r.RecordOp(Op(-1), time.Microsecond)       // out of range, ignored
+	r.RecordOp(NumOps, time.Microsecond)       // out of range, ignored
+
+	s := r.Snapshot()
+	get := s.OpLatencies[OpGet]
+	if get.Count != 100 {
+		t.Errorf("get count = %d", get.Count)
+	}
+	if get.P50 > get.P99 || get.P99 > get.P999 || get.P999 > get.Max {
+		t.Errorf("get percentiles not monotone: %+v", get)
+	}
+	put := s.OpLatencies[OpPut]
+	if put.Count != 8 || put.P50 != 40*time.Microsecond {
+		t.Errorf("put latencies: %+v", put)
+	}
+	if s.OpLatencies[OpScan].Count != 0 {
+		t.Error("scan recorded spuriously")
+	}
+
+	r.Reset()
+	if got := r.Snapshot(); got.OpLatencies[OpGet].Count != 0 || got.OpLatencies[OpPut].Count != 0 {
+		t.Error("Reset left op latency samples")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpPut: "put", OpGet: "get", OpDelete: "delete",
+		OpScan: "scan", OpCommit: "commit", NumOps: "unknown"}
+	for op, name := range want {
+		if op.String() != name {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), name)
+		}
+	}
+}
+
+func TestAggregateMergesOpLatenciesAndBacklog(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	for i := 0; i < 50; i++ {
+		a.RecordOp(OpGet, 10*time.Microsecond)
+		b.RecordOp(OpGet, 1000*time.Microsecond)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.AttachBacklog(3, 3<<10, 2, 2<<10)
+	sb.AttachBacklog(5, 5<<10, 1, 1<<10)
+
+	out := Aggregate([]Snapshot{sa, sb})
+	get := out.OpLatencies[OpGet]
+	if get.Count != 100 {
+		t.Errorf("aggregated get count = %d", get.Count)
+	}
+	// Half the samples are fast, half slow: the merged p99 must reflect
+	// the slow shard, the min the fast one.
+	if get.P99 < 500*time.Microsecond {
+		t.Errorf("aggregated p99 = %v, want ≥500µs", get.P99)
+	}
+	if get.Min != 10*time.Microsecond {
+		t.Errorf("aggregated min = %v", get.Min)
+	}
+	if out.PendingImms != 8 || out.PendingImmBytes != 8<<10 || out.L0Tables != 3 || out.L0Bytes != 3<<10 {
+		t.Errorf("aggregated backlog: imms=%d immBytes=%d l0=%d l0Bytes=%d",
+			out.PendingImms, out.PendingImmBytes, out.L0Tables, out.L0Bytes)
+	}
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	r := &Recorder{}
 	var wg sync.WaitGroup

@@ -96,6 +96,15 @@ type Options struct {
 	// the default; negative is invalid.
 	TimeScale float64
 
+	// Admission bounds the write path's elastic-buffer backlog (per shard
+	// when Shards > 1). Nil — the default — is the paper's stall-free
+	// behavior: writers rotate full MemTables into the unbounded elastic
+	// buffer without ever waiting, and the backlog shows up only in the
+	// Stats gauges. A non-nil config enables soft throttling and/or hard
+	// blocking at the configured thresholds, with every wait measured
+	// into the stall counters. See DESIGN.md §11.
+	Admission *AdmissionOptions
+
 	// DisableGroupCommit turns off the leader-based group-commit write
 	// pipeline, restoring the serialized per-record write path (an
 	// ablation for comparison; the pipeline is on by default).
@@ -112,6 +121,13 @@ type Options struct {
 	// takes precedence, so existing callers keep their behavior.
 	GroupCommit *bool
 }
+
+// AdmissionOptions configures backlog-aware write admission control: a
+// soft band that injects per-commit throttling delays and a hard band
+// that blocks the committing writer until flush progress. Thresholds of
+// zero disable the corresponding trigger; see core.AdmissionOptions for
+// field semantics.
+type AdmissionOptions = core.AdmissionOptions
 
 // Bool returns a pointer to b, for the deprecated pointer-valued options.
 //
@@ -146,6 +162,14 @@ func (opts *Options) validate() error {
 	if opts.Shards < 0 || opts.Shards > maxShards {
 		return fmt.Errorf("miodb: invalid Shards %d: must be in [0, %d] (0 and 1 select the single-engine path)", opts.Shards, maxShards)
 	}
+	if ac := opts.Admission; ac != nil {
+		if ac.SoftImms < 0 || ac.HardImms < 0 || ac.SoftL0Bytes < 0 || ac.HardL0Bytes < 0 {
+			return fmt.Errorf("miodb: invalid Admission thresholds: must be ≥ 0 (0 disables a trigger)")
+		}
+		if ac.SlowdownDelay < 0 {
+			return fmt.Errorf("miodb: invalid Admission.SlowdownDelay %v: must be ≥ 0 (0 selects the default)", ac.SlowdownDelay)
+		}
+	}
 	return nil
 }
 
@@ -161,6 +185,7 @@ func (opts *Options) coreOptions() core.Options {
 	co.Levels = opts.Levels
 	co.BloomBitsPerKey = opts.BloomBitsPerKey
 	co.DisableWAL = opts.DisableWAL
+	co.Admission = opts.Admission
 	co.Simulate = opts.Simulate
 	co.TimeScale = opts.TimeScale
 	// The deprecated pointer toggle wins when set; otherwise the plain
@@ -193,6 +218,21 @@ func (opts *Options) shardCount() int {
 // For a sharded store the top-level fields aggregate all shards and
 // Stats.Shards carries the per-shard breakdown.
 type Stats = stats.Snapshot
+
+// Op indexes Stats.OpLatencies: Stats().OpLatencies[OpGet].P999 is the
+// measured Get tail in microseconds. OpPut and OpDelete are per-record
+// commit latencies (queue wait + WAL + memtable insert); OpCommit is the
+// whole Write/WriteBatch commit, one sample per batch.
+type Op = stats.Op
+
+const (
+	OpPut    = stats.OpPut
+	OpGet    = stats.OpGet
+	OpDelete = stats.OpDelete
+	OpScan   = stats.OpScan
+	OpCommit = stats.OpCommit
+	NumOps   = stats.NumOps
+)
 
 // DB is a MioDB store: a single engine, or — with Options{Shards: N} —
 // a hash-partitioned router over N independent engines behind the same
