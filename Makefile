@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale bench-stability profile repro clean
+.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale bench-stability bench-membalance profile repro clean
 
 all: check
 
@@ -56,6 +56,13 @@ bench-netscale:
 # BENCH_stability.json with the per-bin timelines.
 bench-stability:
 	$(GO) run ./cmd/miodb-repro -experiment stability -json_dir .
+
+# Adaptive memory governor: skewed zipfian traffic over 8 shards,
+# adaptive vs static budget split at equal total memory; writes
+# BENCH_membalance.json with per-shard flush counts and memtable-target
+# timelines.
+bench-membalance:
+	$(GO) run ./cmd/miodb-repro -experiment membalance -json_dir .
 
 # Capture mutex/block contention profiles from 8-thread read-only
 # readscale runs of both read-path arms (epoch-pinned and the

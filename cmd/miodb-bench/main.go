@@ -18,6 +18,7 @@ import (
 
 	"miodb/internal/bench"
 	"miodb/internal/core"
+	"miodb/internal/shard"
 	"miodb/internal/stats"
 )
 
@@ -40,6 +41,8 @@ func main() {
 		mutexReads = flag.Bool("mutex_reads", false, "disable miodb's lock-free read path (mutex-refcount version pinning)")
 		softImms   = flag.Int("soft_imms", 0, "miodb admission control: throttle commits at this imms backlog (0 = off)")
 		hardImms   = flag.Int("hard_imms", 0, "miodb admission control: block commits at this imms backlog (0 = off)")
+		memBudget  = flag.Int64("memory_budget", 0, "global memtable budget in bytes split across shards (0 = per-shard write_buffer_size)")
+		governor   = flag.Bool("governor", false, "adaptively rebalance the memtable budget across shards by write heat (requires -shards > 1)")
 		jsonOut    = flag.String("json", "", "write a machine-readable record of every run to this path")
 		reps       = flag.Int("reps", 1, "repetitions per benchmark (reported best; all reps recorded in -json output)")
 	)
@@ -68,6 +71,10 @@ func main() {
 	}
 	if *softImms > 0 || *hardImms > 0 {
 		cfg.Admission = &core.AdmissionOptions{SoftImms: *softImms, HardImms: *hardImms}
+	}
+	cfg.MemoryBudget = *memBudget
+	if *governor {
+		cfg.Governor = &shard.GovernorOptions{}
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {
@@ -188,8 +195,8 @@ func main() {
 					st.WriteGroups, st.GroupedWrites, st.MeanGroupSize)
 			}
 			for i, sh := range st.Shards {
-				fmt.Printf("  shard %d: puts=%d gets=%d deletes=%d WA=%.2f flushes=%d\n",
-					i, sh.Puts, sh.Gets, sh.Deletes, sh.WriteAmplification, sh.Flushes)
+				fmt.Printf("  shard %d: puts=%d gets=%d deletes=%d WA=%.2f flushes=%d rotations=%d memtarget=%dKB\n",
+					i, sh.Puts, sh.Gets, sh.Deletes, sh.WriteAmplification, sh.Flushes, sh.Rotations, sh.MemTableTargetBytes>>10)
 			}
 			if st.BloomProbes > 0 {
 				fmt.Printf("  bloom: probes=%d skips=%d false-positives=%d measured-fp-rate=%.4f\n",

@@ -23,6 +23,7 @@ import (
 	"miodb/internal/bench"
 	"miodb/internal/core"
 	"miodb/internal/server"
+	"miodb/internal/shard"
 )
 
 func main() {
@@ -38,6 +39,8 @@ func main() {
 		drain    = flag.Duration("drain_timeout", 0, "how long shutdown waits for in-flight requests (0 = default)")
 		softImms = flag.Int("soft_imms", 0, "miodb admission control: throttle commits at this imms backlog (0 = off)")
 		hardImms = flag.Int("hard_imms", 0, "miodb admission control: block commits at this imms backlog (0 = off)")
+		budget   = flag.Int64("memory_budget", 0, "global memtable budget in bytes split across shards (0 = per-shard write_buffer_size)")
+		governor = flag.Bool("governor", false, "adaptively rebalance the memtable budget across shards by write heat (requires -shards > 1)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -54,6 +57,10 @@ func main() {
 	}
 	if *softImms > 0 || *hardImms > 0 {
 		cfg.Admission = &core.AdmissionOptions{SoftImms: *softImms, HardImms: *hardImms}
+	}
+	cfg.MemoryBudget = *budget
+	if *governor {
+		cfg.Governor = &shard.GovernorOptions{}
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {

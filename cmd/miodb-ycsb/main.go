@@ -17,6 +17,7 @@ import (
 
 	"miodb/internal/bench"
 	"miodb/internal/histogram"
+	"miodb/internal/shard"
 	"miodb/internal/stats"
 )
 
@@ -27,25 +28,38 @@ func main() {
 		ops       = flag.Int("ops", 12000, "operations per workload")
 		valueSize = flag.Int("value_size", 4096, "value size in bytes")
 		workloads = flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
+		shards    = flag.Int("shards", 1, "miodb shard count (hash-partitioned engines; 1 = single engine)")
 		ssd       = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		timeline  = flag.Bool("timeline", false, "print a latency-over-time sparkline per workload (Fig 8)")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		memBudget = flag.Int64("memory_budget", 0, "global memtable budget in bytes split across shards (0 = per-shard default)")
+		governor  = flag.Bool("governor", false, "adaptively rebalance the memtable budget across shards by write heat (requires -shards > 1)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards %d: must be >= 1 (1 = single engine)\n", *shards)
+		os.Exit(2)
+	}
 
-	s, err := bench.OpenStore(bench.Config{
-		Kind:     bench.StoreKind(*store),
-		SSD:      *ssd,
-		Simulate: true,
-	})
+	cfg := bench.Config{
+		Kind:         bench.StoreKind(*store),
+		Shards:       *shards,
+		SSD:          *ssd,
+		Simulate:     true,
+		MemoryBudget: *memBudget,
+	}
+	if *governor {
+		cfg.Governor = &shard.GovernorOptions{}
+	}
+	s, err := bench.OpenStore(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
 	}
 	defer s.Close()
 
-	fmt.Printf("store=%s records=%d ops=%d value_size=%d ssd=%v\n",
-		*store, *records, *ops, *valueSize, *ssd)
+	fmt.Printf("store=%s records=%d ops=%d value_size=%d shards=%d ssd=%v\n",
+		*store, *records, *ops, *valueSize, *shards, *ssd)
 
 	loadRes, err := bench.YCSBLoad(s, *records, *valueSize)
 	if err != nil {
@@ -78,6 +92,14 @@ func main() {
 	st := s.Stats()
 	fmt.Printf("WA=%.2f interval-stall=%v×%d cumulative-stall=%v\n",
 		st.WriteAmplification, st.IntervalStall.Round(1e6), st.IntervalStalls, st.CumulativeStall.Round(1e6))
+	// Per-shard op counts on a sharded store: how evenly the routing hash
+	// spread the workload, plus each shard's flush count and memtable
+	// target (the governor's current division of the budget).
+	for i, sh := range st.Shards {
+		fmt.Printf("shard %d: ops=%d (puts=%d gets=%d deletes=%d scans=%d) flushes=%d memtarget=%dKB\n",
+			i, sh.Puts+sh.Gets+sh.Deletes+sh.Scans,
+			sh.Puts, sh.Gets, sh.Deletes, sh.Scans, sh.Flushes, sh.MemTableTargetBytes>>10)
+	}
 	// The store's own per-op distributions (the harness percentiles above
 	// measure whole YCSB ops, which may bundle a read and a write).
 	for op := stats.Op(0); op < stats.NumOps; op++ {

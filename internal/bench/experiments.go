@@ -90,6 +90,7 @@ func Experiments() []Experiment {
 		{"shardscale", "Sharded store: fill/readrandom throughput vs shard count", ShardScale},
 		{"netscale", "Pipelined network front end: connections × window sweep over loopback", NetScale},
 		{"stability", "Sustained-fill stability: throughput over time, tail traces, backlog vs admission control", Stability},
+		{"membalance", "Adaptive memory governor: skewed shard traffic, adaptive vs static split at equal total memory", MemBalance},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},
 		{"extra-escan", "Bonus: workload E before vs after compactions settle (§5.2 claim)", ExtraScanSettle},
 		{"extra-novelsm", "Bonus: NoveLSM flat vs hierarchical vs NoSST (§3.1 claim)", ExtraNoveLSMVariants},

@@ -64,6 +64,15 @@ type Config struct {
 	// experiment uses it to compare bounded vs unbounded arms.
 	Admission *core.AdmissionOptions
 
+	// MemoryBudget is the sharded MioDB store's global memtable budget:
+	// each shard starts at MemoryBudget/Shards (overriding MemTableSize).
+	// 0 keeps the per-shard MemTableSize semantics.
+	MemoryBudget int64
+	// Governor enables adaptive rebalancing of the budget across shards
+	// (nil = static split; requires Shards > 1). The membalance
+	// experiment compares the two at equal total memory.
+	Governor *shard.GovernorOptions
+
 	// MioDB ablation switches (nil = paper defaults).
 	ParallelCompaction *bool
 	ZeroCopyMerge      *bool
@@ -159,7 +168,23 @@ func OpenStore(c Config) (Store, error) {
 			if c.SSD {
 				return nil, fmt.Errorf("bench: sharded store does not support -ssd")
 			}
+			if c.Governor != nil {
+				g := *c.Governor
+				if g.Budget == 0 {
+					g.Budget = c.MemoryBudget
+				}
+				return shard.OpenGoverned(c.Shards, opts, &g)
+			}
+			if c.MemoryBudget > 0 {
+				opts.MemTableSize = c.MemoryBudget / int64(c.Shards)
+			}
 			return shard.Open(c.Shards, opts)
+		}
+		if c.Governor != nil {
+			return nil, fmt.Errorf("bench: governor requires shards > 1")
+		}
+		if c.MemoryBudget > 0 {
+			opts.MemTableSize = c.MemoryBudget
 		}
 		db, err := core.Open(opts)
 		if err != nil {

@@ -64,6 +64,16 @@ type DB struct {
 	seq     atomic.Uint64
 	tableID atomic.Uint64
 
+	// memTarget is the dynamic capacity for the *next* memtable, read at
+	// rotation time (newMemHandle) and adjusted by SetMemTableTarget —
+	// the memory governor's knob. It never resizes the live arena: a
+	// target change only takes effect at the next rotation boundary, so
+	// an in-flight group insert always sees the capacity its memtable was
+	// built with. Initialized to opts.MemTableSize; when nobody calls
+	// SetMemTableTarget the write path is byte-identical to a static
+	// configuration.
+	memTarget atomic.Int64
+
 	// current publishes the installed version snapshot to the lock-free
 	// read path; it is written only under db.mu (editVersionLocked) but
 	// read by anyone. See epoch.go for the reclamation protocol.
@@ -158,6 +168,7 @@ func Open(opts Options) (*DB, error) {
 		},
 	}
 	db.cond = sync.NewCond(&db.mu)
+	db.memTarget.Store(opts.MemTableSize)
 	db.levelStats = make([]levelWork, opts.Levels)
 	db.readLevels = make([]readLevelWork, opts.Levels)
 	db.initEpochs()
@@ -227,7 +238,9 @@ func (db *DB) applySimulation() {
 }
 
 func (db *DB) newMemHandle() (*memHandle, error) {
-	mt, err := memtable.New(db.dram, db.opts.MemTableSize, db.opts.ChunkSize)
+	// The capacity comes from the dynamic target, not opts: this is the
+	// rotation boundary where a SetMemTableTarget call takes effect.
+	mt, err := memtable.New(db.dram, db.memTarget.Load(), db.opts.ChunkSize)
 	if err != nil {
 		return nil, err
 	}
@@ -620,6 +633,7 @@ func (db *DB) makeRoomForWrite() error {
 	})
 	err = db.logRotateLocked(fresh)
 	db.mu.Unlock()
+	db.st.CountRotation()
 	// A failed rotate record has already latched the store degraded (the
 	// fresh WAL region is unknown to the recoverable manifest, so writes
 	// into it could never be replayed); surface the refusal to the writer.
@@ -910,6 +924,7 @@ func (db *DB) FlushAll() error {
 	err = db.logRotateLocked(fresh)
 	db.mu.Unlock()
 	db.commitMu.Unlock()
+	db.st.CountRotation()
 	if err != nil {
 		return err
 	}
@@ -981,6 +996,7 @@ func (db *DB) Stats() stats.Snapshot {
 	live, pending, epoch := db.versionChainGauge()
 	s.AttachReadPath(levels, live, pending, epoch)
 	db.attachBacklog(&s)
+	s.AttachMemory(db.memTarget.Load(), db.current.Load().mem.mt.ApproximateBytes())
 	return s
 }
 

@@ -98,7 +98,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ChunkSize < int(o.MemTableSize/4) {
 		// Keep clone-based flushing efficient: a memtable arena should
-		// span only a handful of chunks.
+		// span only a handful of chunks, so a ChunkSize under a quarter
+		// of the memtable snaps up to the full MemTableSize. Note the
+		// snap changes arena granularity for *everything* sharing the
+		// space (WAL regions, repository chunks), not just the memtable.
+		//
+		// This clamp is also what makes dynamic memtable sizing sound:
+		// ChunkSize is fixed for the life of the DB, so a resized target
+		// must never exceed what the fixed chunk size can serve.
+		// Post-defaults ChunkSize ≥ MemTableSize/4 always holds, which
+		// guarantees SetMemTableTarget's cap of maxArenaChunks (4) ×
+		// ChunkSize is at least the configured MemTableSize — the
+		// governor can grow a shard back to (and beyond) its static
+		// size in every legal configuration. See memtarget.go and
+		// TestChunkSizeInvariant.
 		o.ChunkSize = int(o.MemTableSize)
 	}
 	if o.Levels <= 0 {

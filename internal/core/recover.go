@@ -78,6 +78,7 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 		},
 	}
 	db.cond = sync.NewCond(&db.mu)
+	db.memTarget.Store(opts.MemTableSize)
 	db.levelStats = make([]levelWork, opts.Levels)
 	db.readLevels = make([]readLevelWork, opts.Levels)
 	db.initEpochs()

@@ -43,6 +43,9 @@ type Router struct {
 	// firstErr latches the first shard error Err observes, so repeated
 	// calls keep reporting one stable cause even if more shards degrade.
 	firstErr atomic.Pointer[error]
+	// gov is the adaptive memory governor (OpenGoverned); nil on a
+	// static router — no goroutine, no target ever moved.
+	gov *governor
 }
 
 // Open creates a router over n fresh shards, each configured with opts
@@ -298,8 +301,10 @@ func (r *Router) WaitIdle() {
 }
 
 // Close shuts every shard down, shard-concurrently. Callers must stop
-// issuing operations (and Close all iterators) first.
+// issuing operations (and Close all iterators) first. A governed router
+// stops its rebalancing loop before the shards go down.
 func (r *Router) Close() error {
+	r.stopGovernor()
 	return r.each(func(db *core.DB) error {
 		if db == nil {
 			return nil
@@ -313,6 +318,7 @@ func (r *Router) Close() error {
 // image captured. The router is unusable afterwards; pass the images to
 // RecoverShards. Test/torture-harness use only.
 func (r *Router) CrashForTest() []*core.CrashImage {
+	r.stopGovernor()
 	imgs := make([]*core.CrashImage, len(r.shards))
 	for i, db := range r.shards {
 		imgs[i] = db.CrashForTest()

@@ -91,6 +91,11 @@ type Recorder struct {
 	// Version reclamation: snapshots freed by the epoch (or refcount)
 	// sweep — the lock-free read path's grace-period machinery at work.
 	versionsSwept atomic.Int64
+	// Memtable rotations: full DRAM buffers moved into the immutable
+	// queue (makeRoomForWrite or a forced flush). Together with userBytes
+	// and the flush counters this is the write-heat signal the memory
+	// governor samples (see Heat).
+	rotations atomic.Int64
 	// Per-op-type service latency, striped to keep Record cheap on the
 	// concurrent read path. Zero-value histograms, no constructor needed.
 	opLat [NumOps][opStripes]histogram.Histogram
@@ -195,6 +200,57 @@ func (r *Recorder) CountBackgroundError() { r.backgroundErrors.Add(1) }
 // sweep after its reader grace period elapsed.
 func (r *Recorder) CountVersionSwept() { r.versionsSwept.Add(1) }
 
+// CountRotation records one memtable rotation into the immutable queue.
+func (r *Recorder) CountRotation() { r.rotations.Add(1) }
+
+// Heat is the cheap write-pressure sample the memory governor polls every
+// tick: cumulative counters only, no histogram merges or device reads (a
+// full Snapshot per shard per tick would dominate a millisecond-scale
+// governor interval). Callers diff consecutive samples with Delta to get
+// per-interval rates.
+type Heat struct {
+	// UserBytes is cumulative user payload written (key+value).
+	UserBytes int64
+	// Flushes / FlushBytes count completed memtable flushes and their
+	// volume.
+	Flushes    int64
+	FlushBytes int64
+	// Rotations counts memtables rotated into the immutable queue; the
+	// per-interval rotation rate is the most direct "this shard's buffer
+	// is too small" signal.
+	Rotations int64
+}
+
+// Heat samples the recorder's write-pressure counters.
+func (r *Recorder) Heat() Heat {
+	return Heat{
+		UserBytes:  r.userBytes.Load(),
+		Flushes:    r.flushes.Load(),
+		FlushBytes: r.flushBytes.Load(),
+		Rotations:  r.rotations.Load(),
+	}
+}
+
+// Delta returns the per-interval heat between prev (the older sample) and
+// h. Counters only grow, except across ResetCounters — a negative delta
+// is clamped to zero so a mid-run reset reads as "idle", not as a huge
+// negative rate.
+func (h Heat) Delta(prev Heat) Heat {
+	return Heat{
+		UserBytes:  clampNonNeg(h.UserBytes - prev.UserBytes),
+		Flushes:    clampNonNeg(h.Flushes - prev.Flushes),
+		FlushBytes: clampNonNeg(h.FlushBytes - prev.FlushBytes),
+		Rotations:  clampNonNeg(h.Rotations - prev.Rotations),
+	}
+}
+
+func clampNonNeg(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // Reset zeroes every counter atomically, field by field. Unlike a struct
 // copy (`*r = Recorder{}`), it is safe while other goroutines are
 // concurrently updating the recorder: each atomic is stored individually,
@@ -220,6 +276,7 @@ func (r *Recorder) Reset() {
 	r.deviceRetries.Store(0)
 	r.backgroundErrors.Store(0)
 	r.versionsSwept.Store(0)
+	r.rotations.Store(0)
 	for op := range r.opLat {
 		for i := range r.opLat[op] {
 			r.opLat[op][i].Reset()
@@ -268,6 +325,17 @@ type Snapshot struct {
 	UserBytesWritten int64
 	Puts, Gets       int64
 	Deletes, Scans   int64
+	// Rotations counts memtables rotated into the immutable queue — the
+	// write-heat signal behind the adaptive memory governor.
+	Rotations int64
+
+	// Memory-governor gauges (attached by the store via AttachMemory):
+	// the active memtable's dynamic capacity target and its current fill.
+	// On an aggregated snapshot both are sums across shards, so
+	// MemTableTargetBytes tracks how the governor has divided its global
+	// budget.
+	MemTableTargetBytes int64
+	MemTableUsedBytes   int64
 
 	// WriteGroups counts leader commits; GroupedWrites counts the records
 	// they carried. MeanGroupSize is their ratio (0 when no groups).
@@ -378,6 +446,9 @@ func Aggregate(shards []Snapshot) Snapshot {
 		out.PendingImmBytes += s.PendingImmBytes
 		out.L0Tables += s.L0Tables
 		out.L0Bytes += s.L0Bytes
+		out.Rotations += s.Rotations
+		out.MemTableTargetBytes += s.MemTableTargetBytes
+		out.MemTableUsedBytes += s.MemTableUsedBytes
 		if s.ReadEpoch > out.ReadEpoch {
 			out.ReadEpoch = s.ReadEpoch
 		}
@@ -472,6 +543,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		Gets:             r.gets.Load(),
 		Deletes:          r.deletes.Load(),
 		Scans:            r.scans.Load(),
+		Rotations:        r.rotations.Load(),
 	}
 }
 
@@ -504,6 +576,13 @@ func (s *Snapshot) AttachBacklog(imms, immBytes, l0Tables, l0Bytes int64) {
 	s.PendingImmBytes = immBytes
 	s.L0Tables = l0Tables
 	s.L0Bytes = l0Bytes
+}
+
+// AttachMemory fills the snapshot's memory-governor gauges: the active
+// memtable's dynamic capacity target and its current fill in bytes.
+func (s *Snapshot) AttachMemory(targetBytes, usedBytes int64) {
+	s.MemTableTargetBytes = targetBytes
+	s.MemTableUsedBytes = usedBytes
 }
 
 // AttachDevices fills the snapshot's device traffic and computes write

@@ -140,6 +140,102 @@ func TestAggregateMergesOpLatenciesAndBacklog(t *testing.T) {
 	}
 }
 
+// TestHeatSampling pins the governor's polling contract: Heat is a cheap
+// cumulative sample, Delta yields the per-interval change, and a counter
+// reset mid-run reads as idle (clamped to zero), never as a negative
+// rate.
+func TestHeatSampling(t *testing.T) {
+	r := &Recorder{}
+	r.AddUserBytes(4096)
+	r.AddFlush(time.Millisecond, 1024)
+	r.CountRotation()
+	r.CountRotation()
+
+	h1 := r.Heat()
+	if h1.UserBytes != 4096 || h1.Flushes != 1 || h1.FlushBytes != 1024 || h1.Rotations != 2 {
+		t.Fatalf("heat sample = %+v", h1)
+	}
+	r.AddUserBytes(100)
+	r.CountRotation()
+	d := r.Heat().Delta(h1)
+	if d.UserBytes != 100 || d.Rotations != 1 || d.Flushes != 0 || d.FlushBytes != 0 {
+		t.Errorf("delta = %+v", d)
+	}
+
+	// Snapshot carries the same rotation counter; Reset zeroes it.
+	if got := r.Snapshot().Rotations; got != 3 {
+		t.Errorf("snapshot rotations = %d", got)
+	}
+	r.Reset()
+	if got := r.Heat(); got != (Heat{}) {
+		t.Errorf("heat after reset = %+v", got)
+	}
+	// A delta across the reset clamps to zero instead of going negative.
+	if d := r.Heat().Delta(h1); d != (Heat{}) {
+		t.Errorf("delta across reset = %+v", d)
+	}
+}
+
+// TestAggregateSumsAndMaxima is the regression test for the cross-shard
+// merge: additive counters (backlog gauges, heat counters, memory
+// gauges) must sum, while wall-clock stalls and the read epoch — where a
+// sum would overstate parallel shards — must take the maximum.
+func TestAggregateSumsAndMaxima(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	a.AddIntervalStall(30 * time.Millisecond)
+	b.AddIntervalStall(50 * time.Millisecond)
+	a.AddCumulativeStall(5 * time.Millisecond)
+	b.AddCumulativeStall(2 * time.Millisecond)
+	a.AddFlush(time.Millisecond, 1000)
+	b.AddFlush(time.Millisecond, 2000)
+	a.AddUserBytes(10)
+	b.AddUserBytes(20)
+	for i := 0; i < 3; i++ {
+		a.CountRotation()
+	}
+	b.CountRotation()
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.AttachBacklog(3, 3<<10, 2, 2<<10)
+	sb.AttachBacklog(5, 5<<10, 1, 1<<10)
+	sa.AttachMemory(8<<10, 100)
+	sb.AttachMemory(24<<10, 300)
+	sa.ReadEpoch = 7
+	sb.ReadEpoch = 4
+
+	out := Aggregate([]Snapshot{sa, sb})
+	// Sums.
+	if out.Flushes != 2 || out.FlushBytes != 3000 {
+		t.Errorf("flushes = %d/%d", out.Flushes, out.FlushBytes)
+	}
+	if out.Rotations != 4 {
+		t.Errorf("rotations = %d, want 4", out.Rotations)
+	}
+	if out.UserBytesWritten != 30 {
+		t.Errorf("user bytes = %d", out.UserBytesWritten)
+	}
+	if out.PendingImms != 8 || out.PendingImmBytes != 8<<10 || out.L0Tables != 3 || out.L0Bytes != 3<<10 {
+		t.Errorf("backlog: imms=%d immBytes=%d l0=%d l0Bytes=%d",
+			out.PendingImms, out.PendingImmBytes, out.L0Tables, out.L0Bytes)
+	}
+	if out.MemTableTargetBytes != 32<<10 || out.MemTableUsedBytes != 400 {
+		t.Errorf("memory gauges: target=%d used=%d", out.MemTableTargetBytes, out.MemTableUsedBytes)
+	}
+	// Maxima: shards stall in parallel; a sum would overstate wall-clock.
+	if out.IntervalStall != 50*time.Millisecond {
+		t.Errorf("interval stall = %v, want the 50ms max", out.IntervalStall)
+	}
+	if out.IntervalStalls != 2 {
+		t.Errorf("interval stall count = %d, want the sum 2", out.IntervalStalls)
+	}
+	if out.CumulativeStall != 5*time.Millisecond {
+		t.Errorf("cumulative stall = %v, want the 5ms max", out.CumulativeStall)
+	}
+	if out.ReadEpoch != 7 {
+		t.Errorf("read epoch = %d, want the max 7", out.ReadEpoch)
+	}
+}
+
 func TestRecorderConcurrent(t *testing.T) {
 	r := &Recorder{}
 	var wg sync.WaitGroup

@@ -96,6 +96,25 @@ type Options struct {
 	// the default; negative is invalid.
 	TimeScale float64
 
+	// MemoryBudget is the global DRAM memtable budget in bytes, divided
+	// across all shards: with Shards = N every shard's memtable starts at
+	// MemoryBudget/N (overriding MemTableSize), and with one shard it is
+	// simply the memtable size. 0 keeps the per-shard MemTableSize
+	// semantics; negative is invalid. The budget must leave each shard at
+	// least 4 KB.
+	MemoryBudget int64
+
+	// Governor enables the adaptive memory governor (requires Shards ≥
+	// 2): a background loop that continuously rebalances the global
+	// memtable budget across shards by write heat — hot shards grow
+	// toward fewer flushes, cold shards shrink toward a floor, applied
+	// only at rotation boundaries, under the budget, with hysteresis.
+	// The budget is MemoryBudget when set, else Shards × the (defaulted)
+	// MemTableSize, so enabling the governor never changes total memory.
+	// Nil — the default — keeps today's static split byte for byte.
+	// See DESIGN.md §12.
+	Governor *GovernorOptions
+
 	// Admission bounds the write path's elastic-buffer backlog (per shard
 	// when Shards > 1). Nil — the default — is the paper's stall-free
 	// behavior: writers rotate full MemTables into the unbounded elastic
@@ -121,6 +140,13 @@ type Options struct {
 	// takes precedence, so existing callers keep their behavior.
 	GroupCommit *bool
 }
+
+// GovernorOptions tunes the adaptive memory governor (tick interval,
+// per-shard floor, hysteresis, EWMA weight); the zero value uses the
+// defaults. The budget itself comes from Options.MemoryBudget — a
+// Budget set here directly takes precedence, for parity with
+// shard.OpenGoverned. See shard.GovernorOptions for field semantics.
+type GovernorOptions = shard.GovernorOptions
 
 // AdmissionOptions configures backlog-aware write admission control: a
 // soft band that injects per-commit throttling delays and a hard band
@@ -161,6 +187,22 @@ func (opts *Options) validate() error {
 	}
 	if opts.Shards < 0 || opts.Shards > maxShards {
 		return fmt.Errorf("miodb: invalid Shards %d: must be in [0, %d] (0 and 1 select the single-engine path)", opts.Shards, maxShards)
+	}
+	if opts.MemoryBudget < 0 {
+		return fmt.Errorf("miodb: invalid MemoryBudget %d: must be ≥ 0 (0 keeps per-shard MemTableSize)", opts.MemoryBudget)
+	}
+	if opts.MemoryBudget > 0 {
+		if per := opts.MemoryBudget / int64(opts.shardCount()); per < 4<<10 {
+			return fmt.Errorf("miodb: MemoryBudget %d over %d shards leaves %d B per shard (need ≥ 4096)", opts.MemoryBudget, opts.shardCount(), per)
+		}
+	}
+	if g := opts.Governor; g != nil {
+		if opts.shardCount() < 2 {
+			return fmt.Errorf("miodb: Governor requires Shards ≥ 2: rebalancing one global budget needs more than one shard (use MemoryBudget alone to size a single engine)")
+		}
+		if g.Budget < 0 || g.FloorBytes < 0 || g.Interval < 0 || g.HysteresisFrac < 0 || g.Alpha < 0 || g.Alpha > 1 {
+			return fmt.Errorf("miodb: invalid Governor options: Budget/FloorBytes/Interval/HysteresisFrac must be ≥ 0 and Alpha in [0, 1] (0 selects each default)")
+		}
 	}
 	if ac := opts.Admission; ac != nil {
 		if ac.SoftImms < 0 || ac.HardImms < 0 || ac.SoftL0Bytes < 0 || ac.HardL0Bytes < 0 {
@@ -252,11 +294,33 @@ func Open(opts *Options) (*DB, error) {
 	co := opts.coreOptions()
 	ssd := opts != nil && opts.UseSSD
 	if n := opts.shardCount(); n > 1 {
+		if opts.Governor != nil {
+			// Copy so Open never mutates the caller's literal; the
+			// budget knob is Options.MemoryBudget unless the caller set
+			// one on the governor directly.
+			g := *opts.Governor
+			if g.Budget == 0 {
+				g.Budget = opts.MemoryBudget
+			}
+			router, err := shard.OpenGoverned(n, co, &g)
+			if err != nil {
+				return nil, err
+			}
+			return &DB{router: router, ssd: ssd}, nil
+		}
+		if opts.MemoryBudget > 0 {
+			// Static even split of the budget, same total memory as the
+			// governed configuration.
+			co.MemTableSize = opts.MemoryBudget / int64(n)
+		}
 		router, err := shard.Open(n, co)
 		if err != nil {
 			return nil, err
 		}
 		return &DB{router: router, ssd: ssd}, nil
+	}
+	if opts != nil && opts.MemoryBudget > 0 {
+		co.MemTableSize = opts.MemoryBudget
 	}
 	inner, err := core.Open(co)
 	if err != nil {
