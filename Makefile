@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture bench-concurrent bench-readscale bench-shardscale bench-netscale bench-stability bench-membalance profile repro clean
+.PHONY: all build vet test race check torture apicheck bench-concurrent bench-readscale bench-shardscale bench-netscale bench-multiget bench-stability bench-membalance profile repro clean
 
 all: check
 
@@ -26,9 +26,16 @@ race:
 torture:
 	$(GO) test -race ./internal/core -run 'TestCrashTorture|TestDoubleCrashDuringRecovery' -v
 
+# Public-API break detection for the root miodb package, against the
+# previous tag (or commit). Soft by default: skips without the apidiff
+# tool, warns without APIDIFF_STRICT=1 — CI sets both.
+apicheck:
+	sh scripts/apidiff.sh
+
 # check is the gate for every change: build, vet, full tests, the race
-# detector over the concurrency-heavy packages, and the crash-torture run.
-check: vet build test race torture
+# detector over the concurrency-heavy packages, the crash-torture run,
+# and the public-API diff.
+check: vet build test race torture apicheck
 
 # Multi-writer throughput sweep (group commit vs serialized vs baselines).
 bench-concurrent:
@@ -50,6 +57,12 @@ bench-shardscale:
 # machine-readable BENCH_netscale.json artifact to the repo root.
 bench-netscale:
 	$(GO) run ./cmd/miodb-repro -experiment netscale -json_dir .
+
+# Versioned read API: GetMulti vs the same lookups as N concurrent
+# pipelined Gets, group sizes 1-16 over loopback; writes
+# BENCH_multiget.json.
+bench-multiget:
+	$(GO) run ./cmd/miodb-repro -experiment multiget -json_dir .
 
 # Sustained-fill stability: throughput-over-time and tail traces for
 # MioDB (unbounded vs admission-bounded) against the baselines; writes

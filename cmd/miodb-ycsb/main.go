@@ -27,7 +27,7 @@ func main() {
 		records   = flag.Uint64("records", 20000, "records to load")
 		ops       = flag.Int("ops", 12000, "operations per workload")
 		valueSize = flag.Int("value_size", 4096, "value size in bytes")
-		workloads = flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters")
+		workloads = flag.String("workloads", "A,B,C,D,E,F", "comma-separated workload letters (A-F, plus M: 95% 8-key multi-gets / 5% updates)")
 		shards    = flag.Int("shards", 1, "miodb shard count (hash-partitioned engines; 1 = single engine)")
 		ssd       = flag.Bool("ssd", false, "use the DRAM-NVM-SSD hierarchy")
 		timeline  = flag.Bool("timeline", false, "print a latency-over-time sparkline per workload (Fig 8)")

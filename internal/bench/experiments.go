@@ -89,6 +89,7 @@ func Experiments() []Experiment {
 		{"readscale", "Multi-reader throughput: epoch-pinned reads vs mutex-refcount", ReadScale},
 		{"shardscale", "Sharded store: fill/readrandom throughput vs shard count", ShardScale},
 		{"netscale", "Pipelined network front end: connections × window sweep over loopback", NetScale},
+		{"multiget", "Versioned read API: GetMulti vs pipelined Gets at group sizes 1-16", MultiGet},
 		{"stability", "Sustained-fill stability: throughput over time, tail traces, backlog vs admission control", Stability},
 		{"membalance", "Adaptive memory governor: skewed shard traffic, adaptive vs static split at equal total memory", MemBalance},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"miodb/internal/client"
+	"miodb/internal/histogram"
+	"miodb/internal/kvstore"
+	"miodb/internal/server"
+)
+
+// multiGetSizes is the swept group size: how many keys one logical
+// lookup needs. 1 is the degenerate case (MGET overhead vs a plain GET).
+var multiGetSizes = []int{1, 2, 4, 8, 16}
+
+// multiGetReps repetitions per cell, reported best + median.
+var multiGetReps = 3
+
+// multiGetRep times `groups` lookups of `size` keys each over one
+// pipelined connection, either as one MGET round trip per group or as
+// size concurrent pipelined GETs per group (the client-side emulation
+// MGET replaces). Latency is recorded per group — the time until the
+// whole answer set is in hand, which is what a caller assembling a page
+// of records experiences.
+func multiGetRep(addr string, size, groups int, keySpace uint64, seed int64, useMGet bool) (RunResult, error) {
+	c, err := client.Dial(addr, client.Options{Window: 64})
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer c.Close()
+
+	choose := Uniform.chooser(keySpace, seed)
+	keys := make([][]byte, size)
+	h := histogram.New()
+	start := time.Now()
+	for g := 0; g < groups; g++ {
+		for i := range keys {
+			keys[i] = dbKey(choose.Choose(keySpace))
+		}
+		t0 := time.Now()
+		// FillRandom leaves coupon-collector holes in the key space, so
+		// ErrNotFound is a valid answer, not a failure.
+		if useMGet {
+			_, errs := c.GetMulti(keys)
+			for _, err := range errs {
+				if err != nil && err != kvstore.ErrNotFound {
+					return RunResult{}, fmt.Errorf("mget: %w", err)
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			errCh := make(chan error, size)
+			for _, k := range keys {
+				wg.Add(1)
+				go func(k []byte) {
+					defer wg.Done()
+					if _, err := c.Get(k); err != nil && err != kvstore.ErrNotFound {
+						errCh <- err
+					}
+				}(k)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				return RunResult{}, fmt.Errorf("pipelined get: %w", err)
+			default:
+			}
+		}
+		h.Record(time.Since(t0))
+	}
+	dur := time.Since(start)
+	// Ops = keys answered, so KIOPS compares across group sizes; the
+	// histogram stays per-group.
+	return finishRun(int64(groups*size), dur, h, nil), nil
+}
+
+// MultiGet is the versioned-read-API experiment: GetMulti (one MGET
+// round trip, one pinned version per engine) versus the same lookups as
+// N concurrent pipelined GETs, at group sizes 1–16 over loopback. The
+// pipelined-GET arm is the strongest client-side emulation — without
+// pipelining the gap is a full RTT per key, not per group.
+func MultiGet(p Params) (*Report, error) {
+	p = p.norm()
+	r := NewReport("multiget", "GetMulti vs pipelined Gets: loopback lookup groups", p.Out)
+	const valueSize = 128
+	records := int(8000 * p.Scale)
+	if records < 2000 {
+		records = 2000
+	}
+	groups := int(6000 * p.Scale)
+	if groups < 1500 {
+		groups = 1500
+	}
+	reps := multiGetReps
+
+	jr := NewJSONReport("multiget", map[string]interface{}{
+		"store":      "miodb",
+		"value_size": valueSize,
+		"records":    records,
+		"groups":     groups,
+		"reps":       reps,
+		"scale":      p.Scale,
+	})
+
+	// One preloaded store and server for the whole sweep: the workload is
+	// read-only, so arms don't disturb each other.
+	s, err := OpenStore(Config{Kind: MioDB, Simulate: true})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if _, err := FillRandom(s, records, uint64(records), valueSize, p.Seed, nil); err != nil {
+		return nil, err
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	srv := server.NewWithOptions(s, server.Options{Window: 128})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	rows := [][]string{}
+	for _, size := range multiGetSizes {
+		var mgetRuns, getRuns []RunResult
+		var mgetBest, getBest RunResult
+		for rep := 0; rep < reps; rep++ {
+			seed := p.Seed + int64(rep)*7919
+			mres, err := multiGetRep(addr.String(), size, groups, uint64(records), seed, true)
+			if err != nil {
+				return nil, fmt.Errorf("size=%d mget: %w", size, err)
+			}
+			gres, err := multiGetRep(addr.String(), size, groups, uint64(records), seed, false)
+			if err != nil {
+				return nil, fmt.Errorf("size=%d gets: %w", size, err)
+			}
+			mgetRuns = append(mgetRuns, mres)
+			getRuns = append(getRuns, gres)
+			if mres.KIOPS > mgetBest.KIOPS {
+				mgetBest = mres
+			}
+			if gres.KIOPS > getBest.KIOPS {
+				getBest = gres
+			}
+		}
+		jr.AddRuns(fmt.Sprintf("mget/size=%d", size),
+			map[string]interface{}{"size": size, "groups": groups, "api": "GetMulti"},
+			mgetRuns, nil)
+		jr.AddRuns(fmt.Sprintf("gets/size=%d", size),
+			map[string]interface{}{"size": size, "groups": groups, "api": "pipelined-Get"},
+			getRuns, nil)
+
+		speedup := 0.0
+		if getBest.KIOPS > 0 {
+			speedup = mgetBest.KIOPS / getBest.KIOPS
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", size),
+			f1(mgetBest.KIOPS), f1(median(kiopsOf(mgetRuns))),
+			usec(mgetBest.Latency.P50), usec(mgetBest.Latency.P99),
+			f1(getBest.KIOPS), f1(median(kiopsOf(getRuns))),
+			usec(getBest.Latency.P50), usec(getBest.Latency.P99),
+			f2(speedup),
+		})
+	}
+	r.Table([]string{"keys/group",
+		"mget-KIOPS", "mget-med", "mget-p50-µs", "mget-p99-µs",
+		"gets-KIOPS", "gets-med", "gets-p50-µs", "gets-p99-µs",
+		"speedup"}, rows)
+	r.Printf("(%d B values, %d uniform records, %d lookup groups per arm, best of %d runs; KIOPS counts keys answered, latency is per whole group; speedup = best mget / best pipelined-gets)", valueSize, records, groups, reps)
+	r.Printf("shape: at size 1 the two are the same wire exchange, so the ratio sits near 1. As the group grows, MGET stays one round trip and one version pin while the GET arm pays per-key framing, per-key dispatch, and a version pin per key — the gap widens with group size and the mget per-group latency grows far slower than the gets arm's.")
+
+	if p.JSONDir != "" {
+		path := filepath.Join(p.JSONDir, "BENCH_multiget.json")
+		if err := jr.Write(path); err != nil {
+			return nil, fmt.Errorf("write %s: %w", path, err)
+		}
+		r.Printf("wrote %s", path)
+	}
+	return r, nil
+}

@@ -141,8 +141,10 @@ func YCSBLoad(s kvstore.Store, records uint64, valueSize int) (RunResult, error)
 	return finishRun(int64(records), time.Since(start), h, nil), nil
 }
 
-// YCSBRun executes ops operations of the named workload (A–F) against a
-// store pre-loaded with records entries.
+// YCSBRun executes ops operations of the named workload (A–F, plus the
+// multi-get mix M) against a store pre-loaded with records entries.
+// Workload M's multi-reads go through kvstore.MultiGetter when the
+// store provides it and fall back to sequential Gets otherwise.
 func YCSBRun(s kvstore.Store, letter string, ops int, records uint64, valueSize int, seed int64, tl *histogram.Timeline) (RunResult, error) {
 	w, err := ycsb.StandardWorkload(letter, records, seed)
 	if err != nil {
@@ -175,6 +177,25 @@ func YCSBRun(s kvstore.Store, letter string, ops int, records uint64, valueSize 
 			}
 			if err := s.Put(ycsb.Key(op.KeyIdx), ycsb.Value(op.KeyIdx, gen, valueSize)); err != nil {
 				return RunResult{}, err
+			}
+		case ycsb.OpMultiRead:
+			keys := make([][]byte, len(op.KeyIdxs))
+			for j, idx := range op.KeyIdxs {
+				keys[j] = ycsb.Key(idx)
+			}
+			if mg, ok := s.(kvstore.MultiGetter); ok {
+				_, errs := mg.GetMulti(keys)
+				for _, err := range errs {
+					if err != nil && err != kvstore.ErrNotFound {
+						return RunResult{}, err
+					}
+				}
+			} else {
+				for _, k := range keys {
+					if _, err := s.Get(k); err != nil && err != kvstore.ErrNotFound {
+						return RunResult{}, err
+					}
+				}
 			}
 		}
 		d := time.Since(t0)

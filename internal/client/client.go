@@ -260,6 +260,112 @@ func (c *Conn) Scan(start []byte, limit int) ([][2][]byte, error) {
 	return server.DecodeScanPayload(payload)
 }
 
+// GetMulti reads several keys in one round trip. Results are positional:
+// values[i] and errs[i] answer keys[i], with kvstore.ErrNotFound per
+// missing key. A transport or server failure is reported in every
+// errs[i]. On a snapshot-capable store the answers come from one pinned
+// version per shard (see Snapshot for a single cross-shard cut).
+func (c *Conn) GetMulti(keys [][]byte) ([][]byte, []error) {
+	return c.mget(0, keys)
+}
+
+// mget runs one MGET round trip against the live store (snapID 0) or a
+// server-side snapshot.
+func (c *Conn) mget(snapID uint64, keys [][]byte) ([][]byte, []error) {
+	values := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return values, errs
+	}
+	fail := func(err error) ([][]byte, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return values, errs
+	}
+	status, payload, err := c.do(server.OpMGet, nil, server.EncodeMGetRequest(snapID, keys))
+	if err != nil {
+		return fail(err)
+	}
+	if status != server.StatusOK {
+		return fail(fmt.Errorf("server: %s", payload))
+	}
+	vs, es, err := server.DecodeMGetResponse(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if len(vs) != len(keys) {
+		return fail(fmt.Errorf("client: mget answered %d of %d keys", len(vs), len(keys)))
+	}
+	return vs, es
+}
+
+// DeleteRange deletes every key k with start ≤ k < end in one round
+// trip (empty end = unbounded). The server refuses if its store has no
+// range-delete support.
+func (c *Conn) DeleteRange(start, end []byte) error {
+	return c.expectOK(c.do(server.OpDelRange, start, end))
+}
+
+// Snap is a server-side consistent snapshot, bound to the connection
+// that captured it. Reads answer as of capture time no matter how many
+// writes land afterwards. Close it when done — the server also releases
+// every snapshot of a connection when the connection drops, so a
+// crashed client cannot block store reclamation.
+type Snap struct {
+	c  *Conn
+	id uint64
+}
+
+// Snapshot captures a consistent snapshot on the server and returns a
+// handle for reading from it. On a sharded store the cut is consistent
+// across shards.
+func (c *Conn) Snapshot() (*Snap, error) {
+	status, payload, err := c.do(server.OpSnap, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != server.StatusOK {
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+	if len(payload) != 8 {
+		return nil, fmt.Errorf("client: malformed snapshot id")
+	}
+	return &Snap{c: c, id: binary.LittleEndian.Uint64(payload)}, nil
+}
+
+// Get returns the value key had when the snapshot was captured.
+func (s *Snap) Get(key []byte) ([]byte, error) {
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], s.id)
+	status, payload, err := s.c.do(server.OpSnapGet, key, id[:])
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case server.StatusOK:
+		return payload, nil
+	case server.StatusNotFound:
+		return nil, kvstore.ErrNotFound
+	default:
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+}
+
+// GetMulti reads several keys from the snapshot's cut in one round
+// trip; all answers are mutually consistent.
+func (s *Snap) GetMulti(keys [][]byte) ([][]byte, []error) {
+	return s.c.mget(s.id, keys)
+}
+
+// Close releases the snapshot on the server, letting reclamation
+// resume there.
+func (s *Snap) Close() error {
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], s.id)
+	return s.c.expectOK(s.c.do(server.OpSnapRel, nil, id[:]))
+}
+
 // Stats returns the server's cost-accounting line (store counters plus
 // per-op service-latency percentiles).
 func (c *Conn) Stats() (string, error) {

@@ -50,6 +50,23 @@ func (p *Pool) Delete(key []byte) error { return p.conn().Delete(key) }
 // Batch applies a batch of writes atomically in one round trip.
 func (p *Pool) Batch(ops []kvstore.BatchOp) error { return p.conn().Batch(ops) }
 
+// GetMulti reads several keys in one round trip over one pooled
+// connection; results are positional.
+func (p *Pool) GetMulti(keys [][]byte) ([][]byte, []error) {
+	return p.conn().GetMulti(keys)
+}
+
+// DeleteRange deletes every key k with start ≤ k < end (empty end =
+// unbounded) in one round trip.
+func (p *Pool) DeleteRange(start, end []byte) error {
+	return p.conn().DeleteRange(start, end)
+}
+
+// Snapshot captures a server-side snapshot. The handle is bound to the
+// pooled connection that captured it; reads through it stay on that
+// connection.
+func (p *Pool) Snapshot() (*Snap, error) { return p.conn().Snapshot() }
+
 // Scan returns up to limit ordered key-value pairs starting at start.
 func (p *Pool) Scan(start []byte, limit int) ([][2][]byte, error) {
 	return p.conn().Scan(start, limit)

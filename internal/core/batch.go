@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"time"
 
@@ -40,16 +41,31 @@ func (b *Batch) Delete(key []byte) {
 	})
 }
 
+// DeleteRange queues a range tombstone deleting every key k with
+// start ≤ k < end (empty end = unbounded; see DB.DeleteRange). An empty
+// range queues nothing.
+func (b *Batch) DeleteRange(start, end []byte) {
+	if len(end) > 0 && bytes.Compare(start, end) >= 0 {
+		return // empty range
+	}
+	b.ops = append(b.ops, batchOp{
+		key:   append([]byte(nil), start...),
+		value: append([]byte(nil), end...),
+		kind:  keys.KindRangeDelete,
+	})
+}
+
 // Len returns the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
 // Each calls fn for every queued operation in order. The key and value
 // slices alias the batch's internal copies and must not be mutated or
-// retained past the callback. The shard router uses it to split a batch
-// by routing hash without re-copying the payload.
-func (b *Batch) Each(fn func(key, value []byte, del bool)) {
+// retained past the callback. For a range delete, key/value carry the
+// [start, end) bounds. The shard router uses it to split a batch by
+// routing hash without re-copying the payload.
+func (b *Batch) Each(fn func(key, value []byte, del, rangeDel bool)) {
 	for _, op := range b.ops {
-		fn(op.key, op.value, op.kind == keys.KindDelete)
+		fn(op.key, op.value, op.kind == keys.KindDelete, op.kind == keys.KindRangeDelete)
 	}
 }
 
@@ -68,7 +84,9 @@ func (db *DB) Write(b *Batch) error {
 		return nil
 	}
 	for _, op := range b.ops {
-		if len(op.key) == 0 {
+		// Range deletes are exempt: an empty start means "from the first
+		// key" (the end rides in value and may be empty = unbounded).
+		if len(op.key) == 0 && op.kind != keys.KindRangeDelete {
 			return fmt.Errorf("miodb: empty key in batch")
 		}
 	}
@@ -89,16 +107,28 @@ func (db *DB) WriteBatch(ops []kvstore.BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	bops := make([]batchOp, len(ops))
-	for i, op := range ops {
-		if len(op.Key) == 0 {
-			return fmt.Errorf("miodb: empty key in batch")
+	bops := make([]batchOp, 0, len(ops))
+	for _, op := range ops {
+		switch {
+		case op.RangeDelete:
+			if len(op.Value) > 0 && bytes.Compare(op.Key, op.Value) >= 0 {
+				continue // empty range — matches DeleteRange's no-op
+			}
+			bops = append(bops, batchOp{key: op.Key, value: op.Value, kind: keys.KindRangeDelete})
+		case op.Delete:
+			if len(op.Key) == 0 {
+				return fmt.Errorf("miodb: empty key in batch")
+			}
+			bops = append(bops, batchOp{key: op.Key, kind: keys.KindDelete})
+		default:
+			if len(op.Key) == 0 {
+				return fmt.Errorf("miodb: empty key in batch")
+			}
+			bops = append(bops, batchOp{key: op.Key, value: op.Value, kind: keys.KindSet})
 		}
-		if op.Delete {
-			bops[i] = batchOp{key: op.Key, kind: keys.KindDelete}
-		} else {
-			bops[i] = batchOp{key: op.Key, value: op.Value, kind: keys.KindSet}
-		}
+	}
+	if len(bops) == 0 {
+		return nil
 	}
 	start := time.Now()
 	err := db.commit(bops)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"miodb/internal/iterx"
+	"miodb/internal/keys"
 	"miodb/internal/pmtable"
 	"miodb/internal/vaddr"
 )
@@ -134,6 +135,19 @@ func (db *DB) mergeOnce(level int) error {
 		return nil
 	}
 	m := pmtable.NewMerge(newE.t, oldE.t)
+	// Reclamation gates (evaluated by the merge goroutine against live
+	// atomics): a superseded version is physically dropped only when every
+	// registered snapshot already sees the superseding write, and an entry
+	// is dead only when a range tombstone no snapshot can predate covers
+	// it. Both default open (horizon = MaxSeq) when no snapshot is live.
+	m.Drop = func(newerSeq uint64) bool { return newerSeq <= db.snapshotHorizon() }
+	m.Dead = func(key []byte, seq uint64, kind keys.Kind) bool {
+		v := db.current.Load()
+		if len(v.rangeDels) == 0 {
+			return false
+		}
+		return coveredAt(v.rangeDels, key, seq, db.snapshotHorizon())
+	}
 	m.SetPersistSlot(db.manifest.region(), db.markSlots[level])
 	// Clear any mark a previous merge of this level left behind before
 	// the pairing becomes durable: a crash between the mergeStart record
@@ -263,7 +277,16 @@ func (db *DB) copyMerge(m *pmtable.Merge) (*pmtable.Table, func(), error) {
 	if err := db.gateNVMWrite(64); err != nil {
 		return nil, nil, err
 	}
-	merged := iterx.NewMerging(m.New.NewIterator(), m.Old.NewIterator())
+	var merged iterx.Iterator = iterx.NewMerging(m.New.NewIterator(), m.Old.NewIterator())
+	// Parity with the zero-copy path's Dead hook: omit range-tombstone
+	//-covered entries from the rebuilt table when no registered snapshot
+	// could still read them. Pinned versions keep reading the source pair.
+	if dels := db.current.Load().rangeDels; len(dels) > 0 {
+		horizon := db.snapshotHorizon()
+		merged = iterx.NewFiltered(merged, keys.MaxSeq, func(key []byte, seq uint64) bool {
+			return coveredAt(dels, key, seq, horizon)
+		})
+	}
 	result, err := pmtable.Build(db.nvm, db.opts.ChunkSize, merged, m.New.ID, db.fp)
 	if err != nil {
 		return nil, nil, err
@@ -323,18 +346,38 @@ func (db *DB) lazyOne(last int, t *pmtable.Table) error {
 		// Absorb is retry-safe: a re-absorbed node whose (key, seq) is
 		// already present is skipped, so a transient mid-absorb failure
 		// re-runs without duplicating entries.
+		// Skip entries a live range tombstone covers (pinned versions keep
+		// reading them through the still-referenced source table), and
+		// unlink superseded repository nodes only below the snapshot
+		// horizon. Both predicates read live atomics at call time.
+		policy := pmtable.AbsorbPolicy{
+			Skip: func(key []byte, seq uint64, kind keys.Kind) bool {
+				return covered(db.current.Load().rangeDels, key, seq)
+			},
+			Drop: func(newerSeq uint64) bool { return newerSeq <= db.snapshotHorizon() },
+		}
 		if err := db.runDeviceOp(func() error {
 			if out := db.nvm.CheckWrite(64); out.Err != nil {
 				return out.Err
 			}
-			return repo.Absorb(t)
+			return repo.AbsorbWith(t, policy)
 		}); err != nil {
 			return fmt.Errorf("absorb: %w", err)
 		}
 	} else {
 		// DRAM-NVM-SSD mode: serialize the PMTable into an L0 SSTable.
 		// A fresh iterator per attempt keeps the retry self-contained.
-		if err := db.runDeviceOp(func() error { return db.ssd.FlushToL0(t.NewIterator()) }); err != nil {
+		// Range-tombstone-covered entries never reach the SSD (snapshots
+		// are unsupported in this mode, so no horizon gate applies —
+		// tombstones themselves stay registered forever for the entries
+		// already below).
+		if err := db.runDeviceOp(func() error {
+			var src iterx.Iterator = t.NewIterator()
+			if dead := deadFn(db.current.Load().rangeDels); dead != nil {
+				src = iterx.NewFiltered(src, keys.MaxSeq, dead)
+			}
+			return db.ssd.FlushToL0(src)
+		}); err != nil {
 			return fmt.Errorf("flush to L0: %w", err)
 		}
 		t.MarkReclaimable()
@@ -396,12 +439,27 @@ func (db *DB) maybeCompactRepo() error {
 	db.repoCompacting = true
 	db.mu.Unlock()
 
+	// Capture the tombstone set before rebuilding: the fresh repository
+	// applies exactly these (registration is seq-ordered, so the captured
+	// slice is the complete prefix up to its last seq — the basis for the
+	// repoAppliedSeq bound below). The fresh object has no readers yet, so
+	// coverage applies unconditionally — no horizon gate: pinned snapshots
+	// keep the old repository object, and later snapshots bound at or
+	// above every captured tombstone.
+	dels := db.current.Load().rangeDels
+	var dead func(key []byte, seq uint64, kind keys.Kind) bool
+	if len(dels) > 0 {
+		dead = func(key []byte, seq uint64, kind keys.Kind) bool {
+			return covered(dels, key, seq)
+		}
+	}
+
 	// Gate before rebuilding (retry-safe); the rebuild itself runs at
 	// most once so a transient fault cannot leak half-built arenas.
 	var fresh *pmtable.Repository
 	err := db.gateNVMWrite(64)
 	if err == nil {
-		fresh, err = repo.Compacted(db.opts.ChunkSize)
+		fresh, err = repo.CompactedWith(db.opts.ChunkSize, dead)
 	}
 	if err != nil {
 		// Clear the latch on the failure path too: leaving it set would
@@ -431,6 +489,14 @@ func (db *DB) maybeCompactRepo() error {
 	db.queueReleaseLocked(func() {
 		old.Release()
 	})
+	if len(dels) > 0 && dels[len(dels)-1].seq > db.repoAppliedSeq {
+		db.repoAppliedSeq = dels[len(dels)-1].seq
+	}
+	if err := db.gcRangeTombstonesLocked(); err != nil {
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		return fmt.Errorf("manifest: %w", err)
+	}
 	db.cond.Broadcast()
 	db.mu.Unlock()
 	return nil

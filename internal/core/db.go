@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -97,6 +98,20 @@ type DB struct {
 	// raced by a late snapshot.
 	closedFlag atomic.Bool
 
+	// Snapshot registry (snapshot.go). snaps holds every open long-lived
+	// Snapshot; snapMin caches the lowest registered bound — the "horizon"
+	// compactions compare superseding sequence numbers against before
+	// physically dropping an older version. The encoding reserves 0 for
+	// "no snapshots registered" (= horizon keys.MaxSeq): a snapshot bound
+	// of 0 can only belong to an empty store, where no entry is ever
+	// visible to it and no drop can matter. A stale horizon read is always
+	// safe — any snapshot registered later bounds at or above every
+	// committed sequence number, so it can never need an entry that was
+	// already superseded when it was created.
+	snapMu  sync.Mutex
+	snaps   map[*Snapshot]struct{}
+	snapMin atomic.Uint64
+
 	// readLevels holds the per-level read-path observability counters
 	// (bloom probes/skips/false positives, hits); indexed like levels,
 	// updated lock-free by readers.
@@ -118,6 +133,12 @@ type DB struct {
 	manifestEdits int          // delta records since the last snapshot
 	markSlots     []vaddr.Addr // persisted insertion-mark slot per level
 	levelStats    []levelWork  // per-level compaction counters (under mu)
+
+	// repoAppliedSeq (under mu) is the highest range-tombstone sequence a
+	// repository rebuild has fully applied; a tombstone at or below it —
+	// with every remaining table/memtable entry newer than it — is spent
+	// and can be dropped from the side table and the manifest.
+	repoAppliedSeq uint64
 
 	wg sync.WaitGroup
 }
@@ -244,7 +265,7 @@ func (db *DB) newMemHandle() (*memHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &memHandle{mt: mt}
+	h := &memHandle{mt: mt, bornSeq: db.seq.Load()}
 	if !db.opts.DisableWAL {
 		h.log = wal.New(db.nvm, db.opts.ChunkSize)
 	}
@@ -324,10 +345,10 @@ func (db *DB) commit(ops []batchOp) error {
 		d := time.Since(start)
 		var puts, deletes int64
 		for _, op := range ops {
-			if op.kind == keys.KindDelete {
-				deletes++
-			} else {
+			if op.kind == keys.KindSet {
 				puts++
+			} else {
+				deletes++ // point and range tombstones both count as deletes
 			}
 		}
 		db.st.RecordOpN(stats.OpPut, d, puts)
@@ -498,6 +519,19 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	var puts, deletes int64
 	for _, f := range group {
 		for _, op := range f.ops {
+			if op.kind == keys.KindRangeDelete {
+				// Logged like any record, but never inserted into the skip
+				// list: the tombstone lands in the version side table (and
+				// on the handle, for the flush-time durability handoff).
+				db.registerRangeTombstone(mem, rangeTombstone{
+					start: append([]byte(nil), op.key...),
+					end:   append([]byte(nil), op.value...),
+					seq:   seq,
+				})
+				deletes++
+				seq++
+				continue
+			}
 			if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
 				// Every record is already durably logged: burn the whole
 				// range and keep the memtable's seq window covering what
@@ -587,6 +621,16 @@ func (db *DB) commitSerial(ops []batchOp) error {
 				return err
 			}
 		}
+		if op.kind == keys.KindRangeDelete {
+			db.registerRangeTombstone(mem, rangeTombstone{
+				start: append([]byte(nil), op.key...),
+				end:   append([]byte(nil), op.value...),
+				seq:   seq,
+			})
+			deletes++
+			seq++
+			continue
+		}
 		if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
 			finishPartial(seq, seq-1)
 			return err
@@ -610,6 +654,38 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	db.st.CountPuts(puts)
 	db.st.CountDeletes(deletes)
 	return nil
+}
+
+// registerRangeTombstone publishes a committed range tombstone: into the
+// current version's copy-on-write side table (read visibility) and onto
+// the active memtable handle (durability handoff — the flush that retires
+// the handle's WAL carries its tombstones into a manifest record first).
+// Callers hold commitMu; the version edit takes db.mu, respecting the
+// writeMu → commitMu → mu lock order.
+func (db *DB) registerRangeTombstone(mem *memHandle, t rangeTombstone) {
+	db.mu.Lock()
+	db.editVersionLocked(func(v *version) {
+		v.rangeDels = appendRangeDel(v.rangeDels, t)
+	})
+	mem.rangeDels = append(mem.rangeDels, t)
+	db.mu.Unlock()
+}
+
+// DeleteRange deletes every key k with start ≤ k < end in one O(1)
+// logical operation; an empty end deletes every key ≥ start. The range
+// tombstone commits through the normal write pipeline (WAL record, its
+// own sequence number, group-commit riders welcome) and is honored by
+// every read path immediately; covered entries are physically dropped
+// later by zero-copy merges, lazy-copy absorbs, and repository
+// compaction (DESIGN.md §13). Snapshots taken before the DeleteRange
+// keep reading the covered keys.
+func (db *DB) DeleteRange(start, end []byte) error {
+	if len(end) > 0 && bytes.Compare(start, end) >= 0 {
+		return nil // empty range
+	}
+	var ops [1]batchOp
+	ops[0] = batchOp{key: start, value: end, kind: keys.KindRangeDelete}
+	return db.commit(ops[:])
 }
 
 // makeRoomForWrite rotates a full memtable into the immutable queue. It
@@ -674,14 +750,41 @@ func (db *DB) get(key []byte) ([]byte, error) {
 	if db.closedFlag.Load() {
 		return nil, ErrClosed
 	}
-	v := pin.v
+	return db.getFrom(pin.v, key, keys.MaxSeq)
+}
 
-	if value, _, kind, ok := v.mem.mt.Get(key); ok {
+// getFrom is the single point-lookup engine behind DB.Get, Snapshot.Get,
+// and GetMulti: search v's hierarchy for the newest version of key with
+// sequence ≤ bound, then apply v's range tombstones to the hit. bound =
+// keys.MaxSeq is the live path and keeps today's exact probe sequence —
+// the only additions are one bound comparison per source and one
+// len(rangeDels) check per hit. The caller must hold a pin on v (or
+// otherwise guarantee it stays readable).
+func (db *DB) getFrom(v *version, key []byte, bound uint64) ([]byte, error) {
+	dels := v.rangeDels
+	live := bound == keys.MaxSeq
+	finish := func(value []byte, seq uint64, kind keys.Kind) ([]byte, error) {
+		// The first hit is the newest visible version; if a tombstone
+		// covers it, every older version has a lower seq and is covered
+		// too — the key is gone.
+		if len(dels) > 0 && covered(dels, key, seq) {
+			return nil, ErrNotFound
+		}
 		return finishGet(value, kind)
 	}
+	memGet := func(mt *memtable.MemTable) ([]byte, uint64, keys.Kind, bool) {
+		if live {
+			return mt.Get(key)
+		}
+		return mt.GetBounded(key, bound)
+	}
+
+	if value, seq, kind, ok := memGet(v.mem.mt); ok {
+		return finish(value, seq, kind)
+	}
 	for _, imm := range v.imms {
-		if value, _, kind, ok := imm.mt.Get(key); ok {
-			return finishGet(value, kind)
+		if value, seq, kind, ok := memGet(imm.mt); ok {
+			return finish(value, seq, kind)
 		}
 	}
 	for li, level := range v.levels {
@@ -690,6 +793,7 @@ func (db *DB) get(key []byte) ([]byte, error) {
 		// of one per table probed.
 		var probes, skips, fps int64
 		var value []byte
+		var seq uint64
 		var kind keys.Kind
 		hit := false
 		for _, e := range level {
@@ -699,7 +803,12 @@ func (db *DB) get(key []byte) ([]byte, error) {
 				continue
 			}
 			var ok bool
-			if value, _, kind, ok = e.get(key); ok {
+			if live {
+				value, seq, kind, ok = e.get(key)
+			} else {
+				value, seq, kind, ok = e.getAt(key, bound)
+			}
+			if ok {
 				hit = true
 				break
 			}
@@ -719,20 +828,72 @@ func (db *DB) get(key []byte) ([]byte, error) {
 			}
 		}
 		if hit {
-			return finishGet(value, kind)
+			return finish(value, seq, kind)
 		}
 	}
 	if v.repo != nil {
-		if value, _, kind, ok := v.repo.Get(key); ok {
-			return finishGet(value, kind)
+		var value []byte
+		var seq uint64
+		var kind keys.Kind
+		var ok bool
+		if live {
+			value, seq, kind, ok = v.repo.Get(key)
+		} else {
+			value, seq, kind, ok = v.repo.GetBounded(key, bound)
+		}
+		if ok {
+			return finish(value, seq, kind)
 		}
 	}
 	if db.ssd != nil {
-		if value, _, kind, ok := db.ssd.Get(key); ok {
-			return finishGet(value, kind)
+		// Snapshots are refused on SSD-mode stores (the on-SSD compactor
+		// rewrites tables with no version pinning), so bound is always
+		// MaxSeq here; range tombstones still filter by seq.
+		if value, seq, kind, ok := db.ssd.Get(key); ok {
+			return finish(value, seq, kind)
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// GetMulti reads several keys as one consistent cut: every lookup runs
+// against a single pinned version at a single sequence bound, so a
+// concurrent writer's updates are either entirely newer than the cut or
+// entirely included — no torn multi-reads. Results are positional:
+// values[i] / errs[i] answer keys[i] (ErrNotFound per missing key). No
+// snapshot is registered — the pin is call-scoped, and a bound taken
+// after pinning protects every entry the pinned version can reach.
+func (db *DB) GetMulti(getKeys [][]byte) ([][]byte, []error) {
+	values := make([][]byte, len(getKeys))
+	errs := make([]error, len(getKeys))
+	fail := func(err error) ([][]byte, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return values, errs
+	}
+	if len(getKeys) == 0 {
+		return values, errs
+	}
+	if db.closedFlag.Load() {
+		return fail(ErrClosed)
+	}
+	start := time.Now()
+	pin := db.acquireVersion()
+	defer db.releaseVersion(pin)
+	if db.closedFlag.Load() {
+		return fail(ErrClosed)
+	}
+	// Loaded after the pin: the sequence counter is ahead of every entry
+	// reachable through the pinned version, so the bound forms a closed,
+	// consistent prefix of history.
+	bound := db.seq.Load()
+	for i, key := range getKeys {
+		db.st.CountGet()
+		values[i], errs[i] = db.getFrom(pin.v, key, bound)
+	}
+	db.st.RecordOpN(stats.OpGet, time.Since(start), int64(len(getKeys)))
+	return values, errs
 }
 
 func finishGet(value []byte, kind keys.Kind) ([]byte, error) {
@@ -750,8 +911,12 @@ type Iterator struct {
 	db     *DB
 	pin    versionPin
 	pinned bool
-	it     iterx.Iterator
-	err    error
+	// onClose runs once on Close, after any pin release — snapshot-derived
+	// iterators use it to drop their reference on the owning Snapshot
+	// (they share its pin instead of holding their own).
+	onClose func()
+	it      iterx.Iterator
+	err     error
 }
 
 // NewIterator returns an iterator over a consistent-as-possible snapshot
@@ -777,7 +942,19 @@ func (db *DB) NewIterator() *Iterator {
 		db.releaseVersion(pin)
 		return &Iterator{db: db, it: iterx.NewMerging(), err: ErrClosed}
 	}
-	v := pin.v
+	return &Iterator{
+		db:     db,
+		pin:    pin,
+		pinned: true,
+		it:     db.versionIterator(pin.v, keys.MaxSeq),
+	}
+}
+
+// versionIterator assembles the merged, visibility-filtered iterator over
+// one version, bounded at maxSeq. The bound/range-tombstone filter layer
+// is inserted only when needed, so stores that never call DeleteRange or
+// Snapshot keep today's iterator stack unchanged.
+func (db *DB) versionIterator(v *version, maxSeq uint64) iterx.Iterator {
 	sources := []iterx.Iterator{v.mem.mt.NewIterator()}
 	for _, imm := range v.imms {
 		sources = append(sources, imm.mt.NewIterator())
@@ -793,12 +970,11 @@ func (db *DB) NewIterator() *Iterator {
 	if db.ssd != nil {
 		sources = append(sources, db.ssd.Iterators()...)
 	}
-	return &Iterator{
-		db:     db,
-		pin:    pin,
-		pinned: true,
-		it:     iterx.NewVisible(iterx.NewMerging(sources...)),
+	var inner iterx.Iterator = iterx.NewMerging(sources...)
+	if dead := deadFn(v.rangeDels); dead != nil || maxSeq != keys.MaxSeq {
+		inner = iterx.NewFiltered(inner, maxSeq, dead)
 	}
+	return iterx.NewVisible(inner)
 }
 
 // SeekToFirst positions at the first live key.
@@ -823,11 +999,17 @@ func (it *Iterator) Value() []byte { return it.it.Value() }
 // was opened against a closed store).
 func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's version pin.
+// Close releases the iterator's version pin (or, for a snapshot-derived
+// iterator, its reference on the owning Snapshot).
 func (it *Iterator) Close() {
 	if it.pinned {
 		it.db.releaseVersion(it.pin)
 		it.pinned = false
+	}
+	if it.onClose != nil {
+		fn := it.onClose
+		it.onClose = nil
+		fn()
 	}
 }
 

@@ -78,7 +78,7 @@ func (db *DB) flushOne(h *memHandle) error {
 	if log != nil {
 		walRegion = log.Region().Index()
 	}
-	if err := db.logFlushDoneLocked(tableToState(table), walRegion, log != nil); err != nil {
+	if err := db.logFlushDoneLocked(tableToState(table), walRegion, log != nil, h.rangeDels); err != nil {
 		// The manifest still references the WAL region (and recovery
 		// would replay it): leak memtable and log rather than release
 		// state the recoverable image depends on.

@@ -191,6 +191,10 @@ func (e *encoder) u64(v uint64) {
 	binary.LittleEndian.PutUint64(b[:], v)
 	e.buf.Write(b[:])
 }
+func (e *encoder) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.buf.Write(v)
+}
 
 type decoder struct {
 	b   []byte
@@ -224,6 +228,16 @@ func (d *decoder) u64() uint64 {
 	d.b = d.b[8:]
 	return v
 }
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < n {
+		d.err = fmt.Errorf("manifest: truncated state")
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
 
 // tableState is the persisted identity of one PMTable.
 type tableState struct {
@@ -253,6 +267,41 @@ type manifestState struct {
 	repoRegion  uint32
 	repoHead    uint64
 	levels      [][]entryState
+
+	// rangeDels are the live range tombstones, seq-ascending. Encoded at
+	// the very end of the snapshot body so a state written before range
+	// deletes existed (no trailing bytes) still decodes.
+	rangeDels []rangeTombstone
+}
+
+// encodeRangeDels appends a tombstone section: count, then per tombstone
+// the commit seq and the [start, end) bounds.
+func encodeRangeDels(e *encoder, dels []rangeTombstone) {
+	e.u32(uint32(len(dels)))
+	for _, t := range dels {
+		e.u64(t.seq)
+		e.bytes(t.start)
+		e.bytes(t.end)
+	}
+}
+
+func decodeRangeDels(d *decoder) []rangeTombstone {
+	n := d.u32()
+	if d.err == nil && n > 1<<24 {
+		d.err = fmt.Errorf("manifest: absurd tombstone count %d", n)
+		return nil
+	}
+	var dels []rangeTombstone
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var t rangeTombstone
+		t.seq = d.u64()
+		t.start = d.bytes()
+		t.end = d.bytes()
+		if d.err == nil {
+			dels = append(dels, t)
+		}
+	}
+	return dels
 }
 
 const (
@@ -322,6 +371,9 @@ func (s *manifestState) encode() []byte {
 			}
 		}
 	}
+	// Trailing section: range tombstones (absent in pre-range-delete
+	// states — the decoder treats end-of-payload here as empty).
+	encodeRangeDels(&e, s.rangeDels)
 	return e.buf.Bytes()
 }
 
@@ -368,6 +420,9 @@ func decodeManifestState(payload []byte) (*manifestState, error) {
 		}
 		s.levels = append(s.levels, lvl)
 	}
+	if d.err == nil && len(d.b) > 0 {
+		s.rangeDels = decodeRangeDels(d)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -387,6 +442,7 @@ const (
 	recMergeDone  = 4
 	recLazyDone   = 5
 	recRepoSwap   = 6
+	recRangeDrop  = 7
 
 	snapshotEvery = 64
 )
@@ -435,8 +491,11 @@ func (db *DB) logRotateLocked(h *memHandle) error {
 }
 
 // logFlushDoneLocked records a completed one-piece flush: the new L0
-// table and the retirement of its WAL region.
-func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool) error {
+// table and the retirement of its WAL region. rangeDels are the range
+// tombstones whose durability the retired WAL carried — from here on the
+// manifest owns them (trailing section, so pre-range-delete records
+// decode unchanged).
+func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool, rangeDels []rangeTombstone) error {
 	return db.appendManifestLocked(recFlushDone, func(e *encoder) {
 		if hadWal {
 			e.u8(1)
@@ -445,6 +504,16 @@ func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool) e
 			e.u8(0)
 		}
 		encodeTable(e, ts)
+		encodeRangeDels(e, rangeDels)
+	})
+}
+
+// logRangeDropLocked records that the range tombstone committed at seq has
+// been fully applied and is no longer needed for correctness (tombstone
+// garbage collection; see maybeCompactRepo).
+func (db *DB) logRangeDropLocked(seq uint64) error {
+	return db.appendManifestLocked(recRangeDrop, func(e *encoder) {
+		e.u64(seq)
 	})
 }
 
@@ -500,8 +569,15 @@ func (s *manifestState) applyDelta(kind uint8, d *decoder) error {
 			wr = d.u32()
 		}
 		ts := decodeTable(d)
+		var dels []rangeTombstone
+		if d.err == nil && len(d.b) > 0 {
+			dels = decodeRangeDels(d)
+		}
 		if d.err != nil {
 			return d.err
+		}
+		for _, t := range dels {
+			s.rangeDels = appendRangeDel(s.rangeDels, t)
 		}
 		if hadWal {
 			for i, w := range s.walRegions {
@@ -597,6 +673,12 @@ func (s *manifestState) applyDelta(kind uint8, d *decoder) error {
 		s.hasRepo = true
 		s.repoRegion = d.u32()
 		s.repoHead = d.u64()
+	case recRangeDrop:
+		seq := d.u64()
+		if d.err != nil {
+			return d.err
+		}
+		s.rangeDels = dropRangeDel(s.rangeDels, seq)
 	default:
 		return fmt.Errorf("manifest: unknown record kind %d", kind)
 	}
@@ -696,6 +778,7 @@ func (db *DB) trySnapshotLocked() (bool, error) {
 		}
 		s.levels = append(s.levels, lvl)
 	}
+	s.rangeDels = v.rangeDels
 	payload := append([]byte{recSnapshot}, s.encode()...)
 	if len(payload)+8 > db.manifest.region().ChunkSize() {
 		return false, nil

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bytes"
+
+	"miodb/internal/keys"
+)
+
+// Range deletion (DESIGN.md §13). A range tombstone logically deletes
+// every key k with start ≤ k < end (end empty = unbounded) written at a
+// sequence number below the tombstone's own. It commits through the
+// normal write pipeline — a keys.KindRangeDelete WAL record (key = start,
+// value = end) with its own sequence number — but never enters a skip
+// list: the engine keeps the live tombstones in a small per-version side
+// table (version.rangeDels), which every read path consults by pure
+// sequence comparison:
+//
+//   - point reads: the first (newest-wins) hit is discarded if a
+//     tombstone with a higher seq covers it — older hits have lower seqs
+//     still, so the key is simply gone;
+//   - scans/iterators: an iterx.Filtered layer beneath the visibility
+//     filter drops covered entries;
+//   - snapshots: a snapshot's pinned version carries exactly the
+//     tombstones that existed at capture, all at seqs ≤ its bound, so a
+//     snapshot sees through later range deletes for free.
+//
+// Physical reclamation is lazy: zero-copy merges and lazy-copy absorbs
+// drop covered entries when no registered snapshot could still need them,
+// and the repository compaction (a fresh object no reader references)
+// applies every tombstone unconditionally. A tombstone itself is dropped
+// from the side table — and from the manifest, via a recRangeDrop record
+// — once the repository rebuild has applied it and every remaining entry
+// in the store is newer than it.
+type rangeTombstone struct {
+	start []byte // inclusive
+	end   []byte // exclusive; empty = unbounded
+	seq   uint64
+}
+
+// covers reports whether the tombstone deletes (key, seq).
+func (t rangeTombstone) covers(key []byte, seq uint64) bool {
+	return seq < t.seq &&
+		bytes.Compare(key, t.start) >= 0 &&
+		(len(t.end) == 0 || bytes.Compare(key, t.end) < 0)
+}
+
+// coveredAt reports whether any tombstone in dels (sorted by seq
+// ascending) with tombstone seq ≤ bound deletes (key, seq). Live reads
+// pass bound = keys.MaxSeq; reclamation passes the snapshot horizon so a
+// tombstone no registered snapshot has seen yet cannot trigger drops that
+// a later-created snapshot would… never need — new snapshots always bound
+// at or above every committed tombstone, so the horizon only matters for
+// physical drops, not visibility.
+func coveredAt(dels []rangeTombstone, key []byte, seq, bound uint64) bool {
+	for i := len(dels) - 1; i >= 0; i-- {
+		t := dels[i]
+		if t.seq <= seq {
+			return false // sorted ascending: no earlier tombstone is newer
+		}
+		if t.seq <= bound && t.covers(key, seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// covered is coveredAt for live reads: any live tombstone counts.
+func covered(dels []rangeTombstone, key []byte, seq uint64) bool {
+	if len(dels) == 0 {
+		return false // the hot-path short circuit
+	}
+	for i := len(dels) - 1; i >= 0; i-- {
+		t := dels[i]
+		if t.seq <= seq {
+			return false
+		}
+		if t.covers(key, seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// deadFn adapts a tombstone set to the key/seq predicate iterx.Filtered
+// and the compaction hooks consume. A nil return stands for "no
+// tombstones" and lets callers skip the filter layer entirely.
+func deadFn(dels []rangeTombstone) func(key []byte, seq uint64) bool {
+	if len(dels) == 0 {
+		return nil
+	}
+	return func(key []byte, seq uint64) bool { return covered(dels, key, seq) }
+}
+
+// appendRangeDel returns dels plus t in a fresh slice (copy-on-write; the
+// input may be shared with pinned versions). Registration happens in
+// commit order, so the seq-ascending invariant is maintained by
+// construction; duplicate seqs (recovery replays) are ignored.
+func appendRangeDel(dels []rangeTombstone, t rangeTombstone) []rangeTombstone {
+	for _, d := range dels {
+		if d.seq == t.seq {
+			return dels // already registered (recovery replays can repeat)
+		}
+	}
+	out := make([]rangeTombstone, len(dels), len(dels)+1)
+	copy(out, dels)
+	return append(out, t)
+}
+
+// dropRangeDel returns dels without the tombstone at seq (copy-on-write).
+func dropRangeDel(dels []rangeTombstone, seq uint64) []rangeTombstone {
+	out := make([]rangeTombstone, 0, len(dels))
+	for _, d := range dels {
+		if d.seq != seq {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// minSeqAlive returns a lower bound on the sequence number of any entry
+// still physically present outside the repository: memtables contribute
+// their birth stamp (every entry in a handle outdates it by at least one;
+// bornSeq is immutable after publication, so the read is race-free against
+// the commit path), level tables their persisted MinSeq (an in-flight
+// merge's result spans down to its Old side). The bound is conservative —
+// an empty memtable still contributes — which only delays tombstone GC,
+// never unblocks it early.
+func minSeqAlive(v *version) uint64 {
+	min := keys.MaxSeq
+	consider := func(s uint64) {
+		if s < min {
+			min = s
+		}
+	}
+	consider(v.mem.bornSeq + 1)
+	for _, h := range v.imms {
+		consider(h.bornSeq + 1)
+	}
+	for _, lvl := range v.levels {
+		for _, e := range lvl {
+			switch ent := e.(type) {
+			case tableEntry:
+				consider(ent.t.MinSeq)
+			case mergeEntry:
+				consider(ent.m.Old.MinSeq)
+			}
+		}
+	}
+	return min
+}
+
+// gcRangeTombstonesLocked drops every range tombstone that can no longer
+// matter: the repository rebuild has applied it (seq ≤ repoAppliedSeq) and
+// every entry still alive anywhere in the store is newer than it — so no
+// read, from any present or future snapshot, could need it again. Each
+// drop is logged (recRangeDrop) before the in-memory side table shrinks,
+// keeping the manifest a superset of what correctness needs. Callers hold
+// db.mu. Never reached in SSD mode (no repository, no rebuild).
+func (db *DB) gcRangeTombstonesLocked() error {
+	v := db.current.Load()
+	if len(v.rangeDels) == 0 || db.repoAppliedSeq == 0 {
+		return nil
+	}
+	minAlive := minSeqAlive(v)
+	for _, t := range v.rangeDels {
+		if t.seq > db.repoAppliedSeq || minAlive <= t.seq {
+			continue
+		}
+		if err := db.logRangeDropLocked(t.seq); err != nil {
+			return err
+		}
+		seq := t.seq
+		db.editVersionLocked(func(nv *version) {
+			nv.rangeDels = dropRangeDel(nv.rangeDels, seq)
+		})
+	}
+	return nil
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"miodb/internal/kvstore"
+)
+
+// TestDeleteRangeReadPaths: a range tombstone takes effect on every
+// read path immediately — Get, GetMulti, Scan, Iterator — and a write
+// after the tombstone resurrects only itself.
+func TestDeleteRangeReadPaths(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DeleteRange([]byte("k020"), []byte("k060")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := db.Get([]byte("k020")); err != ErrNotFound {
+		t.Fatalf("Get(start) err = %v", err)
+	}
+	if _, err := db.Get([]byte("k059")); err != ErrNotFound {
+		t.Fatalf("Get(last covered) err = %v", err)
+	}
+	if v, err := db.Get([]byte("k060")); err != nil || string(v) != "v60" {
+		t.Fatalf("Get(end, exclusive) = %q, %v", v, err)
+	}
+	if v, err := db.Get([]byte("k019")); err != nil || string(v) != "v19" {
+		t.Fatalf("Get(before start) = %q, %v", v, err)
+	}
+
+	values, errs := db.GetMulti([][]byte{[]byte("k019"), []byte("k030"), []byte("k060")})
+	if errs[0] != nil || errs[1] != ErrNotFound || errs[2] != nil {
+		t.Fatalf("GetMulti errs = %v %v %v", errs[0], errs[1], errs[2])
+	}
+	_ = values
+
+	// Scan skips the covered span without a gap in ordering.
+	var seen []string
+	if err := db.Scan([]byte("k018"), 4, func(k, v []byte) bool {
+		seen = append(seen, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k018", "k019", "k060", "k061"}
+	if len(seen) != len(want) {
+		t.Fatalf("scan = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", seen, want)
+		}
+	}
+
+	// A later write inside the range is visible (its seq is newer than
+	// the tombstone's).
+	if err := db.Put([]byte("k030"), []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte("k030")); err != nil || string(v) != "reborn" {
+		t.Fatalf("Get(rewritten) = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("k031")); err != ErrNotFound {
+		t.Fatalf("neighbor of rewritten key resurrected: %v", err)
+	}
+}
+
+// TestDeleteRangeUnboundedAndEmpty: an empty end deletes every key ≥
+// start; an inverted or empty range is a no-op.
+func TestDeleteRangeUnboundedAndEmpty(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Inverted and empty ranges change nothing.
+	if err := db.DeleteRange([]byte("k040"), []byte("k010")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteRange([]byte("k040"), []byte("k040")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := db.Get([]byte("k040")); err != nil || string(v) != "v" {
+		t.Fatalf("Get after empty-range deletes = %q, %v", v, err)
+	}
+	// Unbounded end: everything from k025 on disappears.
+	if err := db.DeleteRange([]byte("k025"), nil); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := db.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("scan after unbounded delete n = %d, want 25", n)
+	}
+}
+
+// TestDeleteRangeBatchForms: the tombstone rides Batch.DeleteRange and
+// the kvstore.BatchOp form, ordered against the batch's other ops.
+func TestDeleteRangeBatchForms(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := &Batch{}
+	b.Put([]byte("k3"), []byte("pre")) // overwritten by the tombstone behind it
+	b.DeleteRange([]byte("k2"), []byte("k5"))
+	b.Put([]byte("k4"), []byte("post")) // after the tombstone: survives
+	if err := db.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k3")); err != ErrNotFound {
+		t.Fatalf("k3 err = %v", err)
+	}
+	if v, err := db.Get([]byte("k4")); err != nil || string(v) != "post" {
+		t.Fatalf("k4 = %q, %v", v, err)
+	}
+
+	// kvstore op form via WriteBatch (the server's path).
+	if err := db.WriteBatch([]kvstore.BatchOp{
+		{Key: []byte("k6"), Value: []byte("k9"), RangeDelete: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("k7")); err != ErrNotFound {
+		t.Fatalf("k7 err = %v", err)
+	}
+	if v, err := db.Get([]byte("k9")); err != nil || string(v) != "v" {
+		t.Fatalf("k9 = %q, %v", v, err)
+	}
+}
+
+// TestDeleteRangeAcrossCompaction: covered entries that already live in
+// flushed PMTables (across levels and in the repository) stay dead
+// through flushes, merges, and absorbs.
+func TestDeleteRangeAcrossCompaction(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	const keys = 300
+	for i := 0; i < keys; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Push everything deep into the pipeline before the tombstone lands.
+	if err := db.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DeleteRange([]byte("k0100"), []byte("k0200")); err != nil {
+		t.Fatal(err)
+	}
+	// More churn afterwards so compactions run with the tombstone live.
+	for round := 0; round < 10; round++ {
+		for i := 200; i < keys; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, i := range []int{100, 150, 199} {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%04d", i))); err != ErrNotFound {
+			t.Fatalf("covered k%04d err = %v", i, err)
+		}
+	}
+	for _, i := range []int{0, 99, 200, 299} {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%04d", i))); err != nil {
+			t.Fatalf("uncovered k%04d err = %v", i, err)
+		}
+	}
+	n := 0
+	if err := db.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != keys-100 {
+		t.Fatalf("scan n = %d, want %d", n, keys-100)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteRangeCrashRecovery: the tombstone is durable the moment
+// DeleteRange returns — after a crash, covered keys stay dead, covered
+// keys re-written after the tombstone come back, and the boundary is
+// exact.
+func TestDeleteRangeCrashRecovery(t *testing.T) {
+	opts := smallOpts()
+	db := mustOpen(t, opts)
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DeleteRange([]byte("k030"), []byte("k070")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("k040"), []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Recover(db.CrashForTest(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get([]byte("k030")); err != ErrNotFound {
+		t.Fatalf("covered key after recovery err = %v", err)
+	}
+	if _, err := re.Get([]byte("k069")); err != ErrNotFound {
+		t.Fatalf("covered key after recovery err = %v", err)
+	}
+	if v, err := re.Get([]byte("k040")); err != nil || string(v) != "reborn" {
+		t.Fatalf("re-written key after recovery = %q, %v", v, err)
+	}
+	if v, err := re.Get([]byte("k070")); err != nil || string(v) != "v" {
+		t.Fatalf("boundary key after recovery = %q, %v", v, err)
+	}
+	if err := re.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second hop: crash again after the manifest snapshot from the first
+	// recovery — the tombstone must ride the manifest image this time,
+	// not just the WAL.
+	re2, err := Recover(re.CrashForTest(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if _, err := re2.Get([]byte("k050")); err != ErrNotFound {
+		t.Fatalf("covered key after second recovery err = %v", err)
+	}
+	if v, err := re2.Get([]byte("k040")); err != nil || string(v) != "reborn" {
+		t.Fatalf("re-written key after second recovery = %q, %v", v, err)
+	}
+}
+
+// TestDeleteRangeCheckpointRoundTrip: the tombstone survives a
+// checkpoint image and its restore (which flushes first — the covered
+// entries may be deep in the levels by then).
+func TestDeleteRangeCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := smallOpts()
+	db := mustOpen(t, opts)
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DeleteRange([]byte("k050"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(dir + "/rd.img"); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenImage(dir+"/rd.img", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Get([]byte("k075")); err != ErrNotFound {
+		t.Fatalf("covered key after restore err = %v", err)
+	}
+	if v, err := re.Get([]byte("k049")); err != nil || string(v) != "v" {
+		t.Fatalf("uncovered key after restore = %q, %v", v, err)
+	}
+	n := 0
+	if err := re.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("restored scan n = %d, want 50", n)
+	}
+}
+
+// TestDeleteRangeSnapshotInteraction: a snapshot taken before the
+// tombstone keeps reading covered keys; one taken after never sees
+// them; and the tombstone cannot be GC'd while the older snapshot needs
+// the covered entries.
+func TestDeleteRangeSnapshotInteraction(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	for i := 0; i < 60; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer before.Close()
+	if err := db.DeleteRange([]byte("k000"), []byte("k030")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+
+	if v, err := before.Get([]byte("k010")); err != nil || string(v) != "v" {
+		t.Fatalf("pre-tombstone snapshot Get = %q, %v", v, err)
+	}
+	if _, err := after.Get([]byte("k010")); err != ErrNotFound {
+		t.Fatalf("post-tombstone snapshot Get err = %v", err)
+	}
+	// Churn with both snapshots open; the old cut must keep its keys.
+	for round := 0; round < 5; round++ {
+		for i := 30; i < 60; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := before.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 60 {
+		t.Fatalf("pre-tombstone snapshot scan n = %d, want 60", n)
+	}
+	n = 0
+	if err := after.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("post-tombstone snapshot scan n = %d, want 30", n)
+	}
+}
+
+// TestRangeTombstoneGC: once every covered entry has been physically
+// dropped (absorbed away) and a repository rebuild has applied the
+// tombstone, the tombstone itself is garbage-collected from the side
+// table — it must not accumulate forever.
+func TestRangeTombstoneGC(t *testing.T) {
+	opts := smallOpts()
+	db := mustOpen(t, opts)
+	defer db.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("dead%04d", i)), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.DeleteRange([]byte("dead"), []byte("deae")); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.current.Load().rangeDels); got != 1 {
+		t.Fatalf("registered tombstones = %d, want 1", got)
+	}
+
+	// Update-heavy churn on uncovered keys: generates repository garbage
+	// until a rebuild fires, which applies and then GCs the tombstone.
+	collected := false
+	for round := 0; round < 300 && !collected; round++ {
+		for i := 0; i < 100; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("live%04d", i)), []byte(fmt.Sprintf("r%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+		collected = len(db.current.Load().rangeDels) == 0
+	}
+	if !collected {
+		t.Fatal("range tombstone never garbage-collected")
+	}
+	// Correctness after GC: covered keys stay dead (physically gone).
+	if _, err := db.Get([]byte("dead0042")); err != ErrNotFound {
+		t.Fatalf("covered key after GC err = %v", err)
+	}
+	if v, err := db.Get([]byte("live0042")); err != nil || len(v) == 0 {
+		t.Fatalf("live key after GC = %q, %v", v, err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the dropped tombstone stays dropped across a crash.
+	re, err := Recover(db.CrashForTest(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(re.current.Load().rangeDels); got != 0 {
+		t.Fatalf("tombstones after recovery = %d, want 0", got)
+	}
+	if _, err := re.Get([]byte("dead0042")); err != ErrNotFound {
+		t.Fatalf("covered key after GC+recovery err = %v", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

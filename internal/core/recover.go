@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"miodb/internal/keys"
@@ -166,6 +167,12 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	// so recovery hands back a consistent buffer.
 	root := newRootVersion()
 	root.levels = make([][]levelEntry, opts.Levels)
+	root.rangeDels = append([]rangeTombstone(nil), state.rangeDels...)
+	// The side-table invariant is seq-ascending; the manifest writes it in
+	// that order, but sort defensively — replay merges delta sections.
+	sort.Slice(root.rangeDels, func(i, j int) bool {
+		return root.rangeDels[i].seq < root.rangeDels[j].seq
+	})
 	type pendingMerge struct {
 		level int
 		merge *pmtable.Merge
@@ -249,6 +256,21 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 				if err := mem.log.Append(key, value, seq, kind); err != nil {
 					return err
 				}
+			}
+			if kind == keys.KindRangeDelete {
+				// Range tombstones never enter the skip list: re-log (above)
+				// and re-register into the side table and the handle's
+				// durability handoff. appendRangeDel deduplicates by seq —
+				// the manifest snapshot may already carry this tombstone.
+				db.registerRangeTombstone(mem, rangeTombstone{
+					start: append([]byte(nil), key...),
+					end:   append([]byte(nil), value...),
+					seq:   seq,
+				})
+				if seq > db.seq.Load() {
+					db.seq.Store(seq)
+				}
+				return nil
 			}
 			if err := mem.mt.Add(key, value, seq, kind); err != nil {
 				return err

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSnapshotIsolationBasic: writes after capture are invisible through
+// every snapshot read path (Get, GetMulti, Scan, Iterator), while the
+// live store sees them immediately.
+func TestSnapshotIsolationBasic(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	// Overwrite, delete, and insert after the capture.
+	for i := 0; i < 100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete([]byte("k050")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("later"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, err := snap.Get([]byte("k050")); err != nil || string(v) != "old" {
+		t.Fatalf("snap.Get(deleted-later) = %q, %v", v, err)
+	}
+	if _, err := snap.Get([]byte("later")); err != ErrNotFound {
+		t.Fatalf("snap.Get(inserted-later) err = %v", err)
+	}
+	if v, err := db.Get([]byte("k000")); err != nil || string(v) != "new" {
+		t.Fatalf("live Get = %q, %v", v, err)
+	}
+
+	values, errs := snap.GetMulti([][]byte{[]byte("k000"), []byte("later"), []byte("k099")})
+	if string(values[0]) != "old" || errs[0] != nil || errs[1] != ErrNotFound || string(values[2]) != "old" {
+		t.Fatalf("snap.GetMulti = %q %v / %v / %q %v", values[0], errs[0], errs[1], values[2], errs[2])
+	}
+
+	// Scan and iterator walk exactly the captured cut: 100 keys, all old.
+	n := 0
+	err = snap.Scan(nil, 0, func(k, v []byte) bool {
+		if string(v) != "old" {
+			t.Fatalf("snap scan saw %q=%q", k, v)
+		}
+		n++
+		return true
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("snap scan n=%d err=%v", n, err)
+	}
+	it := snap.NewIterator()
+	it.Seek([]byte("k050"))
+	if !it.Valid() || string(it.Key()) != "k050" || string(it.Value()) != "old" {
+		t.Fatalf("snap iterator at %q=%q", it.Key(), it.Value())
+	}
+	it.Close()
+}
+
+// TestSnapshotSurvivesFlushAndCompaction: a snapshot keeps answering
+// from its cut after the buffered state it pinned has been flushed,
+// zero-copy merged down the levels, lazily absorbed into the
+// repository, and repo-compacted — the acceptance bar for the epoch
+// substrate doing the pinning.
+func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	// Heavy churn: many overwrite rounds with full drains between them,
+	// forcing flushes, merges, lazy absorbs, and (with enough garbage)
+	// repository compactions while the snapshot stays open.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < keys; i++ {
+			if err := db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("r%d-%d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, i := range []int{0, 1, 73, 127, keys - 1} {
+		k := fmt.Sprintf("k%04d", i)
+		v, err := snap.Get([]byte(k))
+		if err != nil || string(v) != fmt.Sprintf("old-%d", i) {
+			t.Fatalf("snap.Get(%s) after churn = %q, %v", k, v, err)
+		}
+	}
+	// Full cut scan still returns every original value.
+	n := 0
+	err = snap.Scan(nil, 0, func(k, v []byte) bool {
+		n++
+		return true
+	})
+	if err != nil || n != keys {
+		t.Fatalf("snap scan after churn n=%d err=%v", n, err)
+	}
+	// And the live store reads the final round.
+	if v, err := db.Get([]byte("k0000")); err != nil || string(v) != "r19-0" {
+		t.Fatalf("live Get after churn = %q, %v", v, err)
+	}
+}
+
+// TestSnapshotClosedReads pins the lifecycle contract: reads on a
+// closed snapshot fail with ErrSnapshotClosed, Close is idempotent, and
+// an iterator derived before Close stays valid until its own Close.
+func TestSnapshotClosedReads(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := snap.NewIterator()
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if _, err := snap.Get([]byte("k")); err != ErrSnapshotClosed {
+		t.Fatalf("Get on closed snapshot err = %v", err)
+	}
+	if _, errs := snap.GetMulti([][]byte{[]byte("k")}); errs[0] != ErrSnapshotClosed {
+		t.Fatalf("GetMulti on closed snapshot err = %v", errs[0])
+	}
+	if err := snap.Scan(nil, 0, func(k, v []byte) bool { return true }); err != ErrSnapshotClosed {
+		t.Fatalf("Scan on closed snapshot err = %v", err)
+	}
+	// The pre-Close iterator holds its own reference and still works.
+	it.SeekToFirst()
+	if !it.Valid() || string(it.Key()) != "k" {
+		t.Fatalf("derived iterator after snapshot Close: valid=%v key=%q", it.Valid(), it.Key())
+	}
+	it.Close()
+}
+
+// TestSnapshotLeakBlocksClose: an open snapshot holds a reader pin, so
+// DB.Close must wait for it — the same leak discipline as iterators.
+func TestSnapshotLeakBlocksClose(t *testing.T) {
+	db := mustOpen(t, smallOpts())
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- db.Close() }()
+	select {
+	case <-done:
+		t.Fatal("Close returned with a snapshot still open")
+	case <-time.After(100 * time.Millisecond):
+	}
+	snap.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close still blocked after the snapshot released")
+	}
+}
+
+// TestSnapshotUnsupportedOnSSD: the on-SSD compactor rewrites tables in
+// place with no version pinning, so SSD-mode stores refuse snapshots
+// descriptively.
+func TestSnapshotUnsupportedOnSSD(t *testing.T) {
+	opts := smallOpts()
+	opts.SSD = &SSDOptions{}
+	db := mustOpen(t, opts)
+	defer db.Close()
+	if _, err := db.Snapshot(); err != ErrSnapshotUnsupported {
+		t.Fatalf("Snapshot on SSD store err = %v", err)
+	}
+}
+
+// TestSnapshotSurvivesCheckpoint: taking a checkpoint (which quiesces
+// and flushes the store) must not disturb an open snapshot's cut.
+func TestSnapshotSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpen(t, smallOpts())
+	defer db.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for i := 0; i < 50; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(dir + "/snap.img"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := snap.Get([]byte("k025")); err != nil || string(v) != "old" {
+		t.Fatalf("snap.Get after checkpoint = %q, %v", v, err)
+	}
+	// The image itself restores to the live (new) state.
+	re, err := OpenImage(dir+"/snap.img", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, err := re.Get([]byte("k025")); err != nil || string(v) != "new" {
+		t.Fatalf("restored Get = %q, %v", v, err)
+	}
+}

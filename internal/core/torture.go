@@ -41,6 +41,9 @@ type TortureReport struct {
 	// Resurrected counts uncertain updates that recovery proved durable
 	// (the WAL record beat the crash).
 	Resurrected int64
+	// RangeDeletes counts acknowledged DeleteRange ops mixed into the
+	// workload; every key they covered must stay dead across recovery.
+	RangeDeletes int64
 	// KeysChecked counts post-recovery point lookups verified against
 	// the model.
 	KeysChecked int64
@@ -80,12 +83,22 @@ func tortureOpts() Options {
 // pendingOp is the at-most-one update per cycle whose ack was cut off by
 // an injected fault. Recovery may surface either its value or the
 // previous state; the verifier accepts both and folds the observed
-// outcome back into the model.
+// outcome back into the model. For a range delete, key holds the start
+// and end the exclusive bound; a range tombstone is a single WAL record,
+// so across a crash it is atomic — either every covered key is gone or
+// none is.
 type pendingOp struct {
-	valid bool
-	key   string
-	val   string
-	del   bool
+	valid    bool
+	key      string
+	val      string
+	del      bool
+	rangeDel bool
+	end      string
+}
+
+// covers reports whether a pending range delete spans key k.
+func (p pendingOp) covers(k string) bool {
+	return p.valid && p.rangeDel && k >= p.key && k < p.end
 }
 
 // RunTorture executes a randomized crash-torture run and verifies, after
@@ -93,7 +106,7 @@ type pendingOp struct {
 //
 //   - every acknowledged update is present (no acked write lost);
 //   - every unacknowledged update resolved to all-or-nothing;
-//   - deleted keys stay deleted (no resurrection);
+//   - deleted and range-deleted keys stay deleted (no resurrection);
 //   - the sequence counter never regressed below the newest acked update;
 //   - the store's structural invariants hold (CheckConsistency);
 //   - every NVM/DRAM region is reachable from the recovered state
@@ -156,6 +169,30 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 		// the injected crash cuts the ack path.
 		pending = pendingOp{}
 		for op := 0; op < cfg.Ops; op++ {
+			// Rarely, replace the point op with a range delete over a small
+			// random span of the key space.
+			if rng.Intn(40) == 0 {
+				a := rng.Intn(keyspace)
+				start := fmt.Sprintf("k%04d", a)
+				end := fmt.Sprintf("k%04d", a+1+rng.Intn(24))
+				if err := db.DeleteRange([]byte(start), []byte(end)); err != nil {
+					if dev.Faults() == nil {
+						return nil, fmt.Errorf("cycle %d op %d: range delete failed with no fault armed: %w", cycle, op, err)
+					}
+					pending = pendingOp{valid: true, key: start, end: end, rangeDel: true}
+					rep.OpsUncertain++
+					break
+				}
+				for k := range model {
+					if k >= start && k < end {
+						delete(model, k)
+					}
+				}
+				rep.OpsAcked++
+				rep.RangeDeletes++
+				seqFloor = db.LastSeq()
+				continue
+			}
 			k := fmt.Sprintf("k%04d", rng.Intn(keyspace))
 			del := rng.Intn(10) == 0
 			var v string
@@ -245,7 +282,26 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 			rep.KeysChecked++
 		}
 		// Fold the pending op's observed outcome into the model.
-		if pending.valid {
+		if pending.valid && pending.rangeDel {
+			// A range tombstone is one WAL record, so it applied atomically
+			// or not at all: probing any one covered model key decides for
+			// the whole span.
+			for k := range model {
+				if !pending.covers(k) {
+					continue
+				}
+				if _, err := db.Get([]byte(k)); err == ErrNotFound {
+					for k2 := range model {
+						if pending.covers(k2) {
+							delete(model, k2)
+						}
+					}
+					rep.Resurrected++ // the tombstone beat the crash
+				}
+				break
+			}
+			pending = pendingOp{}
+		} else if pending.valid {
 			got, err := db.Get([]byte(pending.key))
 			switch {
 			case pending.del && err == ErrNotFound:
@@ -288,7 +344,18 @@ func verifyKey(db *DB, k string, model map[string]string, pending pendingOp) err
 	}
 	want, inModel := model[k]
 
-	if pending.valid && pending.key == k {
+	if pending.covers(k) {
+		// Inside an unacked range delete: accept the prior state or
+		// not-found. (Atomicity across the span is enforced by the fold-in
+		// probe, which resolves the whole range from one key.)
+		if err == ErrNotFound || (inModel && err == nil && string(got) == want) {
+			return nil
+		}
+		return fmt.Errorf("key %q inside unacked range delete [%q,%q): got %q, %v (want %q or not-found)",
+			k, pending.key, pending.end, got, err, want)
+	}
+
+	if pending.valid && !pending.rangeDel && pending.key == k {
 		// Unacked op on this key: accept old state or new state.
 		if pending.del {
 			if err == ErrNotFound || (inModel && err == nil && string(got) == want) {

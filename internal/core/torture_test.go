@@ -18,6 +18,9 @@ func TestCrashTorture(t *testing.T) {
 	if rep.OpsAcked == 0 || rep.KeysChecked == 0 {
 		t.Fatalf("torture run did no work: %+v", rep)
 	}
+	if rep.RangeDeletes == 0 {
+		t.Fatalf("torture run mixed in no range deletes: %+v", rep)
+	}
 	t.Log(rep.String())
 }
 

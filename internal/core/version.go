@@ -15,6 +15,9 @@ import (
 // through its mark-aware protocol).
 type levelEntry interface {
 	get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool)
+	// getAt is get restricted to versions with sequence ≤ maxSeq (snapshot
+	// reads). maxSeq = keys.MaxSeq must behave exactly like get.
+	getAt(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool)
 	mayContain(key []byte) bool
 	iterators() []iterx.Iterator
 	newestSeq() uint64
@@ -27,38 +30,33 @@ type tableEntry struct{ t *pmtable.Table }
 // currently in flight between the pair — or, once the merge completed,
 // be redirected to the result (whose filter covers the migrated nodes).
 func (e tableEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.t.GetSafe(key) }
-func (e tableEntry) mayContain(key []byte) bool                       { return e.t.MayContainSafe(key) }
+func (e tableEntry) getAt(key []byte, maxSeq uint64) ([]byte, uint64, keys.Kind, bool) {
+	return e.t.GetBoundedSafe(key, maxSeq)
+}
+func (e tableEntry) mayContain(key []byte) bool { return e.t.MayContainSafe(key) }
+
+// iterators returns the table's scan source. Always the migration-safe
+// re-seek iterator: even a table that is settled when the scan starts can
+// enter a zero-copy merge mid-scan, and a raw pointer-chasing iterator
+// standing on a node the merge migrates would follow the rewritten tower
+// into the other list — silently skipping the rest of this one.
 func (e tableEntry) iterators() []iterx.Iterator {
-	if f := e.t.Forward(); f != nil {
-		return tableEntry{f}.iterators()
-	}
-	if m := e.t.ActiveMerge(); m != nil {
-		return mergeEntry{m}.iterators()
-	}
-	return []iterx.Iterator{e.t.NewIterator()}
+	return []iterx.Iterator{e.t.NewSafeIterator()}
 }
 func (e tableEntry) newestSeq() uint64 { return e.t.MaxSeq }
 
 type mergeEntry struct{ m *pmtable.Merge }
 
 func (e mergeEntry) get(key []byte) ([]byte, uint64, keys.Kind, bool) { return e.m.Get(key) }
-func (e mergeEntry) mayContain(key []byte) bool                       { return e.m.MayContain(key) }
+func (e mergeEntry) getAt(key []byte, maxSeq uint64) ([]byte, uint64, keys.Kind, bool) {
+	return e.m.GetBounded(key, maxSeq)
+}
+func (e mergeEntry) mayContain(key []byte) bool { return e.m.MayContain(key) }
 func (e mergeEntry) iterators() []iterx.Iterator {
-	// A completed merge scans through its result: the drained pair's
-	// shared list may already be migrating under a later merge.
-	if r := e.m.Result(); r != nil {
-		return tableEntry{r}.iterators()
-	}
-	its := []iterx.Iterator{
-		e.m.New.NewIterator(),
-		e.m.Old.NewIterator(),
-	}
-	// The in-flight node belongs to neither list; expose it so scans
-	// taken mid-merge cannot miss it.
-	if n, ok := e.m.MarkNode(); ok {
-		its = append(its, iterx.NewSingle(n.Key(), n.Value(), n.Seq(), n.Kind()))
-	}
-	return its
+	// The safe iterator reads both lists plus the in-flight mark node
+	// under the merge's seqlock, re-seeking each step, and follows the
+	// result table once the merge completes mid-scan.
+	return []iterx.Iterator{e.m.NewSafeIterator()}
 }
 func (e mergeEntry) newestSeq() uint64 { return e.m.New.MaxSeq }
 
@@ -67,6 +65,20 @@ type memHandle struct {
 	mt             *memtable.MemTable
 	log            *wal.Log
 	minSeq, maxSeq uint64
+
+	// bornSeq is db.seq at handle creation, stamped before publication
+	// (immutable afterwards, so readable without the commit lock). Every
+	// entry committed into this handle has seq > bornSeq — the race-free
+	// lower bound tombstone GC needs (see minSeqAlive).
+	bornSeq uint64
+
+	// rangeDels are the range tombstones committed while this handle was
+	// the active memtable. They never enter the skip list; they ride here
+	// so the flush that retires the handle's WAL can carry them into a
+	// manifest record first (durability handoff, like any other entry in
+	// the WAL). Appended under commitMu; frozen once the handle rotates
+	// into the immutable queue.
+	rangeDels []rangeTombstone
 }
 
 // version is an immutable snapshot of the store's readable structure.
@@ -97,6 +109,13 @@ type version struct {
 	imms   []*memHandle   // newest first
 	levels [][]levelEntry // per level, newest first
 	repo   *pmtable.Repository
+
+	// rangeDels are the live range tombstones, sorted by seq ascending.
+	// The slice is copy-on-write: a registration builds a fresh slice in
+	// its version edit, so a pinned version's view is immutable and —
+	// because a snapshot's bound covers every tombstone that existed at
+	// capture — complete for that snapshot forever.
+	rangeDels []rangeTombstone
 
 	// releaseFns run when this version and all older versions are dead.
 	// Appended only while the version is current (under db.mu), so a
@@ -148,10 +167,11 @@ func (db *DB) queueReleaseLocked(fn func()) {
 func (db *DB) editVersionLocked(edit func(v *version), garbage ...func()) {
 	cur := db.current.Load()
 	nv := &version{
-		mem:    cur.mem,
-		imms:   append([]*memHandle(nil), cur.imms...),
-		levels: make([][]levelEntry, len(cur.levels)),
-		repo:   cur.repo,
+		mem:       cur.mem,
+		imms:      append([]*memHandle(nil), cur.imms...),
+		levels:    make([][]levelEntry, len(cur.levels)),
+		repo:      cur.repo,
+		rangeDels: cur.rangeDels, // copy-on-write; edits replace the slice
 	}
 	nv.retireEpoch.Store(notRetired)
 	for i := range cur.levels {

@@ -192,6 +192,60 @@ func (v *Visible) Kind() keys.Kind { return v.in.Kind() }
 
 var _ Iterator = (*Visible)(nil)
 
+// Filtered hides entries a snapshot read must not see: entries with
+// sequence numbers above the snapshot bound, and entries covered by a
+// range tombstone (reported by the dead callback). It sits beneath
+// Visible, which then applies the usual newest-version/point-tombstone
+// semantics to the filtered stream. A nil dead callback filters by bound
+// only; maxSeq = keys.MaxSeq filters by tombstones only.
+type Filtered struct {
+	in     Iterator
+	maxSeq uint64
+	dead   func(key []byte, seq uint64) bool
+}
+
+// NewFiltered wraps in with a sequence bound and a range-tombstone
+// predicate.
+func NewFiltered(in Iterator, maxSeq uint64, dead func(key []byte, seq uint64) bool) *Filtered {
+	return &Filtered{in: in, maxSeq: maxSeq, dead: dead}
+}
+
+func (f *Filtered) skip() {
+	for f.in.Valid() {
+		if f.in.Seq() > f.maxSeq || (f.dead != nil && f.dead(f.in.Key(), f.in.Seq())) {
+			f.in.Next()
+			continue
+		}
+		return
+	}
+}
+
+// SeekToFirst positions at the first passing entry.
+func (f *Filtered) SeekToFirst() { f.in.SeekToFirst(); f.skip() }
+
+// Seek positions at the first passing entry with user key ≥ key.
+func (f *Filtered) Seek(key []byte) { f.in.Seek(key); f.skip() }
+
+// Next advances to the next passing entry.
+func (f *Filtered) Next() { f.in.Next(); f.skip() }
+
+// Valid reports whether positioned on a passing entry.
+func (f *Filtered) Valid() bool { return f.in.Valid() }
+
+// Key returns the current user key.
+func (f *Filtered) Key() []byte { return f.in.Key() }
+
+// Value returns the current value.
+func (f *Filtered) Value() []byte { return f.in.Value() }
+
+// Seq returns the current sequence number.
+func (f *Filtered) Seq() uint64 { return f.in.Seq() }
+
+// Kind returns the current entry kind.
+func (f *Filtered) Kind() keys.Kind { return f.in.Kind() }
+
+var _ Iterator = (*Filtered)(nil)
+
 // Single is a one-entry iterator, used to expose a zero-copy merge's
 // in-flight insertion-mark node to scans.
 type Single struct {

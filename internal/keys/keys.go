@@ -21,6 +21,14 @@ const (
 	KindDelete Kind = 0
 	// KindSet marks a regular key-value write.
 	KindSet Kind = 1
+	// KindRangeDelete marks a range tombstone: the entry's key is the
+	// inclusive start of the deleted range and its value is the exclusive
+	// end (empty value = unbounded). A range tombstone at sequence t kills
+	// every entry (k, s) with start ≤ k < end and s < t. Range tombstones
+	// ride the WAL and batch formats like point writes but are never
+	// inserted into skip lists; the engine keeps them in a small per-version
+	// side table (see core/rangedel.go).
+	KindRangeDelete Kind = 2
 )
 
 // MaxSeq is the largest representable sequence number (56 bits, as in

@@ -42,6 +42,12 @@ func (m *MemTable) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok
 	return m.list.Get(key)
 }
 
+// GetBounded returns the newest version of key with sequence ≤ maxSeq
+// (snapshot reads).
+func (m *MemTable) GetBounded(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	return m.list.GetBounded(key, maxSeq)
+}
+
 // Full reports whether the arena has reached its soft capacity and the
 // memtable should be rotated.
 func (m *MemTable) Full() bool { return m.region.Size() >= m.limit }

@@ -44,6 +44,19 @@ type Merge struct {
 	// sequence ranges).
 	New, Old *Table
 
+	// Drop gates physical deletion of a version superseded by a newer one
+	// committed at newerSeq. The engine returns false while a registered
+	// snapshot's bound is below newerSeq — that snapshot still reads the
+	// older version — and the merge then retains the duplicate (the skip
+	// list is multi-version: point reads take the newest, scans dedup).
+	// nil means always drop, the pre-snapshot behavior. Set before Run.
+	Drop func(newerSeq uint64) bool
+
+	// Dead reports that an entry is covered by a range tombstone no live
+	// snapshot can see past, so the merge drops it instead of migrating
+	// it. nil means migrate everything. Set before Run.
+	Dead func(key []byte, seq uint64, kind keys.Kind) bool
+
 	pos  atomic.Uint64 // seqlock; odd while a node migrates
 	mu   sync.Mutex    // merger holds per migration; reader fallback path
 	mark atomic.Uint64 // vaddr.Addr of the in-flight node (0 = none)
@@ -85,13 +98,19 @@ func (m *Merge) setMark(a vaddr.Addr) {
 // It must be called exactly once, from the level's compaction goroutine.
 func (m *Merge) Run() *Table {
 	var lastKey []byte
+	var lastSeq uint64
 	lastValid := false
 	for {
-		if !m.step(&lastKey, &lastValid) {
+		if !m.step(&lastKey, &lastSeq, &lastValid) {
 			break
 		}
 	}
 	return m.finish()
+}
+
+// canDrop applies the snapshot gate to a superseded-version deletion.
+func (m *Merge) canDrop(newerSeq uint64) bool {
+	return m.Drop == nil || m.Drop(newerSeq)
 }
 
 // step migrates one node; it reports false when the newtable is empty.
@@ -102,17 +121,23 @@ func (m *Merge) Run() *Table {
 // between windows stays valid. The locked windows contain nothing but
 // pointer stores, keeping reader fallback waits to a microsecond — the
 // paper's lock-free spirit with the seqlock safety net.
-func (m *Merge) step(lastKey *[]byte, lastValid *bool) bool {
+func (m *Merge) step(lastKey *[]byte, lastSeq *uint64, lastValid *bool) bool {
 	n := m.New.list.First()
 	if n.IsNil() {
 		return false
 	}
 	key := n.Key()
-	dropDup := *lastValid && bytes.Equal(key, *lastKey)
+	// An older version of the key just migrated is droppable (the paper's
+	// N_d5 case) unless a snapshot still pins it; an entry covered by a
+	// settled range tombstone is droppable outright. A dup the snapshot
+	// gate refuses to drop is migrated as a retained duplicate instead.
+	dup := *lastValid && bytes.Equal(key, *lastKey)
+	drop := (dup && m.canDrop(*lastSeq)) ||
+		(m.Dead != nil && m.Dead(key, n.Seq(), n.Kind()))
 
 	// Phase 0 (unlocked): compute the oldtable insertion splice.
 	var prev [skiplist.MaxHeight]skiplist.Node
-	if !dropDup {
+	if !drop {
 		m.Old.list.FindSplice(key, n.Seq(), &prev)
 	}
 
@@ -125,10 +150,9 @@ func (m *Merge) step(lastKey *[]byte, lastValid *bool) bool {
 	m.setMark(n.Addr())
 	// 2. Remove it from the newtable: atomic head-pointer stores.
 	m.New.list.RemoveFirst()
-	if dropDup {
-		// Older version of the key just merged: logically delete it
-		// outright (the paper's N_d5 case). Its bytes are reclaimed with
-		// the arena after lazy-copy compaction.
+	if drop {
+		// Logically delete the node. Its bytes are reclaimed with the
+		// arena after lazy-copy compaction.
 		m.garbage += n.Size()
 	} else {
 		// 3. Insert into the oldtable at its (key, seq) position.
@@ -139,13 +163,18 @@ func (m *Merge) step(lastKey *[]byte, lastValid *bool) bool {
 	m.pos.Add(1)
 	m.mu.Unlock()
 
-	if dropDup {
+	if drop {
+		// lastKey/lastSeq deliberately unchanged: a dropped node was not
+		// migrated, so it cannot be the superseding version for the next
+		// node's dup decision.
 		return true
 	}
 
 	// Phase 2: unlink superseded versions now directly behind n (the
 	// N_d4/N_d3 case) — search unlocked, unlink in a short locked window.
-	for {
+	// The snapshot gate applies: successors superseded at n.Seq() stay
+	// put while a snapshot's bound is below it.
+	for m.canDrop(n.Seq()) {
 		succAddr := n.NextAddr0()
 		if succAddr.IsNil() {
 			break
@@ -164,6 +193,7 @@ func (m *Merge) step(lastKey *[]byte, lastValid *bool) bool {
 		m.mu.Unlock()
 	}
 	*lastKey = append((*lastKey)[:0], key...)
+	*lastSeq = n.Seq()
 	*lastValid = true
 	return true
 }
@@ -253,12 +283,19 @@ func (m *Merge) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bo
 }
 
 func (m *Merge) getOnce(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	return m.getOnceBounded(key, keys.MaxSeq)
+}
+
+func (m *Merge) getOnceBounded(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
 	consider := func(v []byte, s uint64, k keys.Kind) {
+		if s > maxSeq {
+			return
+		}
 		if !ok || s > seq {
 			value, seq, kind, ok = v, s, k, true
 		}
 	}
-	if v, s, k, found := m.New.list.Get(key); found {
+	if v, s, k, found := m.New.list.GetBounded(key, maxSeq); found {
 		consider(v, s, k)
 	}
 	if a := vaddr.Addr(m.mark.Load()); !a.IsNil() {
@@ -267,8 +304,36 @@ func (m *Merge) getOnce(key []byte) (value []byte, seq uint64, kind keys.Kind, o
 			consider(n.Value(), n.Seq(), n.Kind())
 		}
 	}
-	if v, s, k, found := m.Old.list.Get(key); found {
+	if v, s, k, found := m.Old.list.GetBounded(key, maxSeq); found {
 		consider(v, s, k)
+	}
+	return value, seq, kind, ok
+}
+
+// GetBounded is Get restricted to versions with sequence ≤ maxSeq — the
+// snapshot-read variant of the §4.3 probe, under the same seqlock
+// protocol.
+func (m *Merge) GetBounded(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	for tries := 0; tries < 4; tries++ {
+		if m.done.Load() {
+			return m.result.GetBoundedSafe(key, maxSeq)
+		}
+		v1 := m.pos.Load()
+		if v1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		value, seq, kind, ok = m.getOnceBounded(key, maxSeq)
+		if m.pos.Load() == v1 && !m.done.Load() {
+			return value, seq, kind, ok
+		}
+	}
+	m.mu.Lock()
+	value, seq, kind, ok = m.getOnceBounded(key, maxSeq)
+	done := m.done.Load()
+	m.mu.Unlock()
+	if done {
+		return m.result.GetBoundedSafe(key, maxSeq)
 	}
 	return value, seq, kind, ok
 }

@@ -70,6 +70,14 @@ func (r *Repository) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, 
 	return r.list.Get(key)
 }
 
+// GetBounded returns the newest version of key with sequence ≤ maxSeq.
+// The repository is normally single-version per key, but snapshot-gated
+// absorbs retain superseded versions (and land tombstone nodes), so a
+// bounded probe may legitimately see past the newest entry.
+func (r *Repository) GetBounded(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	return r.list.GetBounded(key, maxSeq)
+}
+
 // Count returns the number of unique keys stored.
 func (r *Repository) Count() int64 { return r.list.Count() }
 
@@ -115,6 +123,38 @@ func (r *Repository) List() *skiplist.List { return r.list }
 // sequence check makes a misordered absorb a no-op per key rather than a
 // corruption.
 func (r *Repository) Absorb(t *Table) error {
+	return r.AbsorbWith(t, AbsorbPolicy{})
+}
+
+// AbsorbPolicy parameterizes an absorb for snapshots and range deletes.
+// The zero value reproduces Absorb's unconditional behavior.
+type AbsorbPolicy struct {
+	// Skip reports that a table entry is covered by a range tombstone and
+	// must not be copied in. Skipped entries stay readable to pinned
+	// version snapshots through the (still-referenced) source table;
+	// repository entries they would have superseded are hidden by the
+	// read path's tombstone filter until a repository compaction drops
+	// them physically.
+	Skip func(key []byte, seq uint64, kind keys.Kind) bool
+	// Drop gates in-place unlinking of a repository node superseded at
+	// newerSeq, exactly like Merge.Drop: false retains the old node for
+	// snapshot readers (and lands point tombstones as repository nodes
+	// instead of applying them). nil = always drop.
+	Drop func(newerSeq uint64) bool
+}
+
+func (p AbsorbPolicy) canDrop(newerSeq uint64) bool {
+	return p.Drop == nil || p.Drop(newerSeq)
+}
+
+// AbsorbWith is Absorb under a policy: dead entries are skipped, and
+// in-place deletions of superseded repository nodes are gated so pinned
+// snapshots keep their versions reachable. When a deletion is blocked the
+// repository temporarily holds several versions of a key (newest first,
+// like any other list here); point reads take the newest, bounded reads
+// seek their version, and the next repository compaction squeezes the
+// retained garbage out.
+func (r *Repository) AbsorbWith(t *Table, p AbsorbPolicy) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
@@ -128,6 +168,9 @@ func (r *Repository) Absorb(t *Table) error {
 		}
 		lastKey = append(lastKey[:0], key...)
 		lastValid = true
+		if p.Skip != nil && p.Skip(key, it.Seq(), it.Kind()) {
+			continue // covered by a range tombstone
+		}
 
 		existing := r.list.FindGE(key)
 		hasExisting := !existing.IsNil() && bytes.Equal(existing.Key(), key)
@@ -135,12 +178,28 @@ func (r *Repository) Absorb(t *Table) error {
 			continue // repository already newer (defensive)
 		}
 		if it.Kind() == keys.KindDelete {
-			if hasExisting {
-				removed := r.list.Remove(key, existing.Seq())
-				if !removed.IsNil() {
-					r.garbage += removed.Size()
-				}
+			if !hasExisting {
+				continue // nothing below to shadow: tombstone is spent
 			}
+			if p.canDrop(it.Seq()) {
+				for {
+					ex := r.list.FindGE(key)
+					if ex.IsNil() || !bytes.Equal(ex.Key(), key) {
+						break
+					}
+					if removed := r.list.Remove(key, ex.Seq()); !removed.IsNil() {
+						r.garbage += removed.Size()
+					}
+				}
+				continue
+			}
+			// A snapshot still reads the shadowed version: retain it and
+			// land the tombstone as a repository node above it. finishGet
+			// hides it from point reads; compaction clears both later.
+			if _, err := r.list.InsertEntry(key, nil, it.Seq(), keys.KindDelete); err != nil {
+				return err
+			}
+			r.copied += int64(len(key))
 			continue
 		}
 		value := it.Value()
@@ -149,7 +208,7 @@ func (r *Repository) Absorb(t *Table) error {
 			return err
 		}
 		r.copied += int64(len(key) + len(value))
-		for {
+		for p.canDrop(it.Seq()) {
 			d := r.list.RemoveAfter(n)
 			if d.IsNil() {
 				break
@@ -173,13 +232,39 @@ func (r *Repository) Release() { r.dev.Release(r.region) }
 // write (it is real write amplification, amortized by triggering only
 // when garbage exceeds a multiple of live data).
 func (r *Repository) Compacted(chunkSize int) (*Repository, error) {
+	return r.CompactedWith(chunkSize, nil)
+}
+
+// CompactedWith is Compacted with a deadness predicate. The fresh
+// repository is a brand-new object no existing reader references, so it
+// can clean unconditionally: only the newest version of each key is
+// copied, point tombstones are dropped (nothing below the bottom level to
+// shadow), and keys whose newest version dead reports (range-tombstone
+// covered) are omitted entirely — along with their older versions, which
+// any covering tombstone necessarily also covers. Pinned snapshots keep
+// reading the old repository object until their versions retire.
+func (r *Repository) CompactedWith(chunkSize int, dead func(key []byte, seq uint64, kind keys.Kind) bool) (*Repository, error) {
 	nr, err := NewRepository(r.dev, chunkSize)
 	if err != nil {
 		return nil, err
 	}
+	var lastKey []byte
+	lastValid := false
 	it := r.NewIterator()
 	for it.SeekToFirst(); it.Valid(); it.Next() {
-		if err := nr.list.Insert(it.Key(), it.Value(), it.Seq(), it.Kind()); err != nil {
+		key := it.Key()
+		if lastValid && bytes.Equal(key, lastKey) {
+			continue // superseded version retained for a snapshot
+		}
+		lastKey = append(lastKey[:0], key...)
+		lastValid = true
+		if it.Kind() == keys.KindDelete {
+			continue
+		}
+		if dead != nil && dead(key, it.Seq(), it.Kind()) {
+			continue
+		}
+		if err := nr.list.Insert(key, it.Value(), it.Seq(), it.Kind()); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,151 @@
+package pmtable
+
+import (
+	"runtime"
+
+	"miodb/internal/keys"
+	"miodb/internal/skiplist"
+)
+
+// Scans over PMTables must survive zero-copy compaction: a merge migrates
+// nodes between the pair's skip lists by rewriting their tower pointers,
+// so an iterator that chases cached node pointers can be teleported from
+// the new table's list into the old one mid-walk — silently skipping
+// every not-yet-migrated entry behind it. Point reads solve this with the
+// insertion mark + seqlock protocol (Table.GetSafe); SafeIterator is the
+// scan-side counterpart: it never holds a node across steps. Each
+// positioning operation re-seeks the strict successor of the current
+// (key, seq) position from the live list heads, under the same seqlock
+// validation, following forward/activeMerge indirection at call time —
+// so the iterator stays correct across a merge starting, progressing, or
+// completing mid-scan, at O(log n) per step.
+//
+// Node memory itself is stable ground: migrations rewrite tower pointers
+// only, never key/value bytes, and arenas are freed strictly after the
+// reader's pinned version drains. Holding the current node within a step
+// is therefore safe; holding it across steps is not.
+
+// succSource yields strict-successor probes: the first entry ≥ (key, seq)
+// in internal order, from live state.
+type succSource interface {
+	SuccSafe(key []byte, seq uint64) skiplist.Node
+}
+
+// SuccSafe returns the first entry ≥ (key, seq) in the table, reading
+// through forward pointers and any active merge exactly like GetSafe.
+func (t *Table) SuccSafe(key []byte, seq uint64) skiplist.Node {
+	if f := t.Forward(); f != nil {
+		return f.SuccSafe(key, seq)
+	}
+	if m := t.ActiveMerge(); m != nil {
+		return m.SuccSafe(key, seq)
+	}
+	n := t.list.SeekGE(key, seq)
+	// A merge may have started during the raw seek; its migrations could
+	// have slid nodes under the search. Redo through the merge protocol.
+	if m := t.ActiveMerge(); m != nil {
+		return m.SuccSafe(key, seq)
+	}
+	return n
+}
+
+// SuccSafe returns the first entry ≥ (key, seq) across the merging pair —
+// both lists plus the in-flight insertion-mark node — under the merge's
+// seqlock; after completion it reads through the result table.
+func (m *Merge) SuccSafe(key []byte, seq uint64) skiplist.Node {
+	for tries := 0; tries < 4; tries++ {
+		if m.done.Load() {
+			return m.result.SuccSafe(key, seq)
+		}
+		v1 := m.pos.Load()
+		if v1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		n := m.succOnce(key, seq)
+		if m.pos.Load() == v1 && !m.done.Load() {
+			return n
+		}
+	}
+	m.mu.Lock()
+	n := m.succOnce(key, seq)
+	done := m.done.Load()
+	m.mu.Unlock()
+	if done {
+		return m.result.SuccSafe(key, seq)
+	}
+	return n
+}
+
+func (m *Merge) succOnce(key []byte, seq uint64) skiplist.Node {
+	best := m.New.list.SeekGE(key, seq)
+	consider := func(n skiplist.Node) {
+		if n.IsNil() {
+			return
+		}
+		if best.IsNil() || keys.Compare(n.Key(), n.Seq(), best.Key(), best.Seq()) < 0 {
+			best = n
+		}
+	}
+	consider(m.Old.list.SeekGE(key, seq))
+	if n, ok := m.MarkNode(); ok && keys.Compare(n.Key(), n.Seq(), key, seq) >= 0 {
+		consider(n)
+	}
+	return best
+}
+
+// SafeIterator walks a table (or an in-flight merge) in internal order by
+// strict-successor re-seeks. It satisfies the iterx.Iterator contract
+// structurally.
+type SafeIterator struct {
+	src   succSource
+	key   []byte // copy: the position must survive the node migrating
+	node  skiplist.Node
+	valid bool
+}
+
+// NewSafeIterator returns a migration-safe iterator over the table.
+func (t *Table) NewSafeIterator() *SafeIterator { return &SafeIterator{src: t} }
+
+// NewSafeIterator returns a migration-safe iterator over the merging pair.
+func (m *Merge) NewSafeIterator() *SafeIterator { return &SafeIterator{src: m} }
+
+func (it *SafeIterator) set(n skiplist.Node) {
+	if n.IsNil() {
+		it.valid = false
+		return
+	}
+	it.node = n
+	it.key = append(it.key[:0], n.Key()...)
+	it.valid = true
+}
+
+// SeekToFirst positions at the first entry.
+func (it *SafeIterator) SeekToFirst() { it.set(it.src.SuccSafe(nil, keys.MaxSeq)) }
+
+// Seek positions at the first entry with user key ≥ key.
+func (it *SafeIterator) Seek(key []byte) { it.set(it.src.SuccSafe(key, keys.MaxSeq)) }
+
+// Next advances to the strict successor of the current position. Sequence
+// numbers start at 1, so seq-1 never underflows below the head's 0.
+func (it *SafeIterator) Next() {
+	if !it.valid {
+		return
+	}
+	it.set(it.src.SuccSafe(it.key, it.node.Seq()-1))
+}
+
+// Valid reports whether positioned on an entry.
+func (it *SafeIterator) Valid() bool { return it.valid }
+
+// Key returns the current user key (stable node bytes).
+func (it *SafeIterator) Key() []byte { return it.key }
+
+// Value returns the current value (stable node bytes).
+func (it *SafeIterator) Value() []byte { return it.node.Value() }
+
+// Seq returns the current sequence number.
+func (it *SafeIterator) Seq() uint64 { return it.node.Seq() }
+
+// Kind returns the current entry kind.
+func (it *SafeIterator) Kind() keys.Kind { return it.node.Kind() }

@@ -218,6 +218,24 @@ func (t *Table) GetSafe(key []byte) (value []byte, seq uint64, kind keys.Kind, o
 	return value, seq, kind, ok
 }
 
+// GetBoundedSafe is GetSafe restricted to versions with sequence ≤
+// maxSeq — the snapshot-read probe. It follows the same
+// forward/activeMerge/raw-recheck protocol; only the list lookups are
+// bounded.
+func (t *Table) GetBoundedSafe(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	if f := t.Forward(); f != nil {
+		return f.GetBoundedSafe(key, maxSeq)
+	}
+	if m := t.ActiveMerge(); m != nil {
+		return m.GetBounded(key, maxSeq)
+	}
+	value, seq, kind, ok = t.list.GetBounded(key, maxSeq)
+	if m := t.ActiveMerge(); m != nil {
+		return m.GetBounded(key, maxSeq)
+	}
+	return value, seq, kind, ok
+}
+
 // MayContain consults the table's bloom filter; with filtering disabled
 // every probe must fall through to the list search.
 func (t *Table) MayContain(key []byte) bool {

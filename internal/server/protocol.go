@@ -25,6 +25,11 @@
 //
 // For SCAN, key is the start key and val carries the 4-byte limit; the
 // response payload is a sequence of keyLen|key|valLen|val pairs.
+//
+// The versioned read ops (SNAP, SNAPGET, MGET, SNAPREL) and DELRANGE ride
+// the same frames; see the op-code constants for their key/val layouts.
+// Snapshots are per-connection state: ids are only meaningful on the
+// connection that created them and are released on disconnect.
 package server
 
 import (
@@ -48,8 +53,28 @@ const (
 	// pipeline directly when it implements kvstore.BatchWriter.
 	OpMPut
 
+	// OpSnap captures a consistent snapshot on the server and returns its
+	// 8-byte id in the response payload. The snapshot is owned by the
+	// connection: it is released by OpSnapRel or automatically when the
+	// connection closes. Requires a kvstore.Snapshotter store.
+	OpSnap
+	// OpSnapGet reads one key from a snapshot: key is the key, val the
+	// 8-byte snapshot id. Status/payload behave exactly like OpGet.
+	OpSnapGet
+	// OpMGet answers several point lookups in one round trip. The key
+	// frame is empty; the value frame carries the request payload (see
+	// EncodeMGetRequest): an 8-byte snapshot id (0 = the live store) and
+	// the keys. The response payload is EncodeMGetResponse.
+	OpMGet
+	// OpDelRange deletes every key k with start ≤ k < end in one
+	// operation: key is the inclusive start, val the exclusive end (empty
+	// = unbounded). Requires a kvstore.RangeDeleter store.
+	OpDelRange
+	// OpSnapRel releases a snapshot: val is the 8-byte snapshot id.
+	OpSnapRel
+
 	// opCount bounds the op-code space for per-op accounting tables.
-	opCount = OpMPut + 1
+	opCount = OpSnapRel + 1
 )
 
 // Status codes.
@@ -67,7 +92,7 @@ var MagicV2 = [4]byte{'M', 'I', 'O', '2'}
 const maxFrame = 64 << 20
 
 // validOp reports whether b is a defined op code.
-func validOp(b byte) bool { return b >= OpGet && b <= OpMPut }
+func validOp(b byte) bool { return b >= OpGet && b <= OpSnapRel }
 
 // opName names an op code for stats lines.
 func opName(op byte) string {
@@ -84,6 +109,16 @@ func opName(op byte) string {
 		return "stats"
 	case OpMPut:
 		return "mput"
+	case OpSnap:
+		return "snap"
+	case OpSnapGet:
+		return "snapget"
+	case OpMGet:
+		return "mget"
+	case OpDelRange:
+		return "delrange"
+	case OpSnapRel:
+		return "snaprel"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -247,7 +282,9 @@ func ReadTaggedResponse(r io.Reader) (tag uint64, status byte, payload []byte, e
 //
 //	count(4) | per op: flags(1) | keyLen(4) | key | valLen(4) | val
 //
-// flags bit 0 marks a delete (the value frame is then empty).
+// flags bit 0 marks a delete (the value frame is then empty); bit 1 marks
+// a range delete (key carries the inclusive start, val the exclusive
+// end — empty = unbounded).
 func EncodeBatchPayload(ops []kvstore.BatchOp) []byte {
 	size := 4
 	for _, op := range ops {
@@ -261,6 +298,9 @@ func EncodeBatchPayload(ops []kvstore.BatchOp) []byte {
 		flags := byte(0)
 		if op.Delete {
 			flags = 1
+		}
+		if op.RangeDelete {
+			flags = 2
 		}
 		out = append(out, flags)
 		binary.LittleEndian.PutUint32(hdr[:], uint32(len(op.Key)))
@@ -303,12 +343,137 @@ func DecodeBatchPayload(b []byte) ([]kvstore.BatchOp, error) {
 		}
 		v := b[:vl]
 		b = b[vl:]
-		ops = append(ops, kvstore.BatchOp{Key: k, Value: v, Delete: flags&1 != 0})
+		ops = append(ops, kvstore.BatchOp{Key: k, Value: v, Delete: flags&1 != 0, RangeDelete: flags&2 != 0})
 	}
 	if len(b) != 0 {
 		return nil, fmt.Errorf("server: %d trailing bytes in batch payload", len(b))
 	}
 	return ops, nil
+}
+
+// EncodeMGetRequest packs an MGET request:
+//
+//	snapID(8) | count(4) | per key: keyLen(4) | key
+//
+// snapID 0 targets the live store; any other id must name a snapshot
+// previously captured on the same connection with OpSnap.
+func EncodeMGetRequest(snapID uint64, keys [][]byte) []byte {
+	size := 12
+	for _, k := range keys {
+		size += 4 + len(k)
+	}
+	out := make([]byte, 0, size)
+	var hdr8 [8]byte
+	binary.LittleEndian.PutUint64(hdr8[:], snapID)
+	out = append(out, hdr8[:]...)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(keys)))
+	out = append(out, hdr[:]...)
+	for _, k := range keys {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(k)))
+		out = append(out, hdr[:]...)
+		out = append(out, k...)
+	}
+	return out
+}
+
+// DecodeMGetRequest unpacks an MGET request.
+func DecodeMGetRequest(b []byte) (snapID uint64, mkeys [][]byte, err error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("server: truncated mget request")
+	}
+	snapID = binary.LittleEndian.Uint64(b)
+	count := binary.LittleEndian.Uint32(b[8:])
+	b = b[12:]
+	if count > maxFrame/4 {
+		return 0, nil, fmt.Errorf("server: absurd mget count %d", count)
+	}
+	mkeys = make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return 0, nil, fmt.Errorf("server: truncated mget key")
+		}
+		kl := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < kl || kl > maxFrame {
+			return 0, nil, fmt.Errorf("server: truncated mget key")
+		}
+		mkeys = append(mkeys, b[:kl])
+		b = b[kl:]
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("server: %d trailing bytes in mget request", len(b))
+	}
+	return snapID, mkeys, nil
+}
+
+// EncodeMGetResponse packs positional MGET results:
+//
+//	count(4) | per key: flag(1) | valLen(4) | val
+//
+// flag 0 = found (val is the value), 1 = not found (val is empty). The
+// caller must have screened errs down to nil / kvstore.ErrNotFound —
+// any other per-key error fails the whole request with StatusError.
+func EncodeMGetResponse(values [][]byte, errs []error) []byte {
+	size := 4
+	for _, v := range values {
+		size += 5 + len(v)
+	}
+	out := make([]byte, 0, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(values)))
+	out = append(out, hdr[:]...)
+	for i, v := range values {
+		flag := byte(0)
+		if errs[i] != nil {
+			flag = 1
+			v = nil
+		}
+		out = append(out, flag)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(v)))
+		out = append(out, hdr[:]...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+// DecodeMGetResponse unpacks positional MGET results: values[i] is the
+// value for the i-th requested key and errs[i] is nil or
+// kvstore.ErrNotFound.
+func DecodeMGetResponse(b []byte) (values [][]byte, errs []error, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("server: truncated mget response")
+	}
+	count := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if count > maxFrame/5 {
+		return nil, nil, fmt.Errorf("server: absurd mget count %d", count)
+	}
+	values = make([][]byte, 0, count)
+	errs = make([]error, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 5 {
+			return nil, nil, fmt.Errorf("server: truncated mget entry")
+		}
+		flag := b[0]
+		vl := binary.LittleEndian.Uint32(b[1:5])
+		b = b[5:]
+		if uint32(len(b)) < vl {
+			return nil, nil, fmt.Errorf("server: truncated mget value")
+		}
+		if flag != 0 {
+			values = append(values, nil)
+			errs = append(errs, kvstore.ErrNotFound)
+		} else {
+			values = append(values, b[:vl])
+			errs = append(errs, nil)
+		}
+		b = b[vl:]
+	}
+	if len(b) != 0 {
+		return nil, nil, fmt.Errorf("server: %d trailing bytes in mget response", len(b))
+	}
+	return values, errs, nil
 }
 
 // EncodeScanPayload packs scan results as keyLen|key|valLen|val pairs.

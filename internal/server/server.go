@@ -139,8 +139,59 @@ type conn struct {
 	window  chan struct{} // in-flight slots (cap Window)
 	ops     sync.WaitGroup
 
+	// Snapshots captured on this connection (OpSnap), keyed by the id
+	// returned to the client. Connection-owned state: released by
+	// OpSnapRel or en masse on disconnect, after in-flight requests
+	// drain, so a dropped client can never leak a snapshot (which would
+	// block store reclamation — and Close — forever).
+	snapMu  sync.Mutex
+	snaps   map[uint64]kvstore.SnapshotView
+	snapSeq uint64
+
 	closed    chan struct{}
 	closeOnce sync.Once
+}
+
+// registerSnapshot stores a captured view and returns its id (never 0 —
+// 0 means "the live store" in MGET requests).
+func (c *conn) registerSnapshot(sv kvstore.SnapshotView) uint64 {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	if c.snaps == nil {
+		c.snaps = make(map[uint64]kvstore.SnapshotView)
+	}
+	c.snapSeq++
+	c.snaps[c.snapSeq] = sv
+	return c.snapSeq
+}
+
+// lookupSnapshot resolves an id to its view (nil if unknown/released).
+func (c *conn) lookupSnapshot(id uint64) kvstore.SnapshotView {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return c.snaps[id]
+}
+
+// takeSnapshot removes an id from the registry, returning the view so
+// the caller can Close it outside the lock.
+func (c *conn) takeSnapshot(id uint64) kvstore.SnapshotView {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	sv := c.snaps[id]
+	delete(c.snaps, id)
+	return sv
+}
+
+// releaseSnapshots closes every snapshot still registered. Called once
+// all in-flight requests for the connection have drained.
+func (c *conn) releaseSnapshots() {
+	c.snapMu.Lock()
+	snaps := c.snaps
+	c.snaps = nil
+	c.snapMu.Unlock()
+	for _, sv := range snaps {
+		sv.Close()
+	}
 }
 
 // tresp is one tagged response queued for the write loop.
@@ -231,10 +282,12 @@ func (s *Server) servePipelined(c *conn) {
 	}
 out:
 	// Let every dispatched request finish and enqueue its response,
-	// then close the queue so the write loop flushes the tail and
-	// tears the socket down.
+	// release the connection's snapshots (nothing can reach them
+	// anymore), then close the queue so the write loop flushes the tail
+	// and tears the socket down.
 	go func() {
 		c.ops.Wait()
+		c.releaseSnapshots()
 		close(c.writeCh)
 	}()
 	s.forget(c)
@@ -321,23 +374,63 @@ func (s *Server) dispatch(c *conn, req taggedRequest) {
 			done(StatusError, []byte(err.Error()))
 			return
 		}
-		for _, o := range ops {
-			if len(o.Key) == 0 {
-				done(StatusError, []byte("mput: empty key"))
-				return
-			}
+		if msg := s.validateBatch(ops); msg != "" {
+			done(StatusError, []byte(msg))
+			return
 		}
 		if len(ops) == 0 {
 			done(StatusOK, nil)
 			return
 		}
 		s.batch.submit(submission{ops: ops, respond: done})
+	case OpDelRange:
+		ops, msg := s.delRangeOps(req.request)
+		if msg != "" {
+			done(StatusError, []byte(msg))
+			return
+		}
+		if len(ops) == 0 {
+			done(StatusOK, nil) // empty range — a no-op, like the store's
+			return
+		}
+		s.batch.submit(submission{ops: ops, respond: done})
 	default:
 		go func() {
-			status, payload := s.handleRead(req.request)
+			status, payload := s.handleRead(c, req.request)
 			done(status, payload)
 		}()
 	}
+}
+
+// validateBatch screens a decoded MPUT batch: empty keys are refused
+// (range deletes excepted — an empty start means "from the first key"),
+// and range deletes require a store that can honor them.
+func (s *Server) validateBatch(ops []kvstore.BatchOp) string {
+	for _, o := range ops {
+		if o.RangeDelete {
+			if _, ok := s.store.(kvstore.RangeDeleter); !ok {
+				return "mput: store does not support range deletes"
+			}
+			continue
+		}
+		if len(o.Key) == 0 {
+			return "mput: empty key"
+		}
+	}
+	return ""
+}
+
+// delRangeOps turns a DELRANGE request into its batch form after the
+// capability check. An empty range returns no ops (a no-op, matching the
+// store's own DeleteRange contract).
+func (s *Server) delRangeOps(req request) ([]kvstore.BatchOp, string) {
+	if _, ok := s.store.(kvstore.RangeDeleter); !ok {
+		return nil, "delrange: store does not support range deletes"
+	}
+	if len(req.val) > 0 && string(req.key) >= string(req.val) {
+		return nil, ""
+	}
+	return []kvstore.BatchOp{{Key: req.key, Value: req.val, RangeDelete: true}}, ""
 }
 
 // serveLegacy is the v1 loop: one request, one synchronous response.
@@ -346,6 +439,7 @@ func (s *Server) dispatch(c *conn, req taggedRequest) {
 // group commit.
 func (s *Server) serveLegacy(c *conn) {
 	defer func() {
+		c.releaseSnapshots()
 		c.shutdown()
 		s.forget(c)
 	}()
@@ -361,7 +455,7 @@ func (s *Server) serveLegacy(c *conn) {
 			return
 		}
 		s.inflight.Add(1)
-		status, payload := s.process(req)
+		status, payload := s.process(c, req)
 		<-s.pendingSem
 		s.inflight.Done()
 		if err := writeResponse(bw, status, payload); err != nil {
@@ -374,9 +468,9 @@ func (s *Server) serveLegacy(c *conn) {
 }
 
 // process executes one request synchronously (the legacy path).
-func (s *Server) process(req request) (byte, []byte) {
+func (s *Server) process(c *conn, req request) (byte, []byte) {
 	switch req.op {
-	case OpPut, OpDelete, OpMPut:
+	case OpPut, OpDelete, OpMPut, OpDelRange:
 		var ops []kvstore.BatchOp
 		switch req.op {
 		case OpPut:
@@ -395,10 +489,17 @@ func (s *Server) process(req request) (byte, []byte) {
 			if err != nil {
 				return StatusError, []byte(err.Error())
 			}
-			for _, o := range ops {
-				if len(o.Key) == 0 {
-					return StatusError, []byte("mput: empty key")
-				}
+			if msg := s.validateBatch(ops); msg != "" {
+				return StatusError, []byte(msg)
+			}
+			if len(ops) == 0 {
+				return StatusOK, nil
+			}
+		case OpDelRange:
+			var msg string
+			ops, msg = s.delRangeOps(req)
+			if msg != "" {
+				return StatusError, []byte(msg)
 			}
 			if len(ops) == 0 {
 				return StatusOK, nil
@@ -411,12 +512,14 @@ func (s *Server) process(req request) (byte, []byte) {
 		r := <-ch
 		return r.status, r.payload
 	default:
-		return s.handleRead(req)
+		return s.handleRead(c, req)
 	}
 }
 
 // handleRead serves the non-mutating ops (and rejects unknown ones).
-func (s *Server) handleRead(req request) (byte, []byte) {
+// The conn carries the connection's snapshot registry for the SNAP
+// family.
+func (s *Server) handleRead(c *conn, req request) (byte, []byte) {
 	switch req.op {
 	case OpGet:
 		v, err := s.store.Get(req.key)
@@ -428,6 +531,73 @@ func (s *Server) handleRead(req request) (byte, []byte) {
 		default:
 			return StatusError, []byte(err.Error())
 		}
+	case OpSnap:
+		sn, ok := s.store.(kvstore.Snapshotter)
+		if !ok {
+			return StatusError, []byte("snap: store does not support snapshots")
+		}
+		sv, err := sn.SnapshotView()
+		if err != nil {
+			return StatusError, []byte(err.Error())
+		}
+		var id [8]byte
+		binary.LittleEndian.PutUint64(id[:], c.registerSnapshot(sv))
+		return StatusOK, id[:]
+	case OpSnapGet:
+		if len(req.val) != 8 {
+			return StatusError, []byte("snapget: missing snapshot id")
+		}
+		sv := c.lookupSnapshot(binary.LittleEndian.Uint64(req.val))
+		if sv == nil {
+			return StatusError, []byte("snapget: unknown snapshot id")
+		}
+		v, err := sv.Get(req.key)
+		switch {
+		case err == nil:
+			return StatusOK, v
+		case errors.Is(err, kvstore.ErrNotFound):
+			return StatusNotFound, nil
+		default:
+			return StatusError, []byte(err.Error())
+		}
+	case OpSnapRel:
+		if len(req.val) != 8 {
+			return StatusError, []byte("snaprel: missing snapshot id")
+		}
+		sv := c.takeSnapshot(binary.LittleEndian.Uint64(req.val))
+		if sv == nil {
+			return StatusError, []byte("snaprel: unknown snapshot id")
+		}
+		if err := sv.Close(); err != nil {
+			return StatusError, []byte(err.Error())
+		}
+		return StatusOK, nil
+	case OpMGet:
+		snapID, mkeys, err := DecodeMGetRequest(req.val)
+		if err != nil {
+			return StatusError, []byte(err.Error())
+		}
+		var values [][]byte
+		var errs []error
+		if snapID == 0 {
+			mg, ok := s.store.(kvstore.MultiGetter)
+			if !ok {
+				return StatusError, []byte("mget: store does not support multi-get")
+			}
+			values, errs = mg.GetMulti(mkeys)
+		} else {
+			sv := c.lookupSnapshot(snapID)
+			if sv == nil {
+				return StatusError, []byte("mget: unknown snapshot id")
+			}
+			values, errs = sv.GetMulti(mkeys)
+		}
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+				return StatusError, []byte(err.Error())
+			}
+		}
+		return StatusOK, EncodeMGetResponse(values, errs)
 	case OpScan:
 		if len(req.val) != 4 {
 			return StatusError, []byte("scan: missing limit")
@@ -520,9 +690,18 @@ func applyBatch(store kvstore.Store, ops []kvstore.BatchOp) error {
 	}
 	for _, op := range ops {
 		var err error
-		if op.Delete {
+		switch {
+		case op.RangeDelete:
+			// Decode-time validation guarantees the store implements
+			// RangeDeleter before a range op reaches a batch.
+			rd, ok := store.(kvstore.RangeDeleter)
+			if !ok {
+				return fmt.Errorf("server: store does not support range deletes")
+			}
+			err = rd.DeleteRange(op.Key, op.Value)
+		case op.Delete:
 			err = store.Delete(op.Key)
-		} else {
+		default:
 			err = store.Put(op.Key, op.Value)
 		}
 		if err != nil {
@@ -672,6 +851,117 @@ func (c *Client) MPut(ops []kvstore.BatchOp) error {
 		return nil
 	}
 	status, payload, err := c.roundTrip(OpMPut, nil, EncodeBatchPayload(ops))
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}
+
+// DeleteRange deletes every key k with start ≤ k < end (empty end =
+// unbounded) in one round trip. The server refuses if its store has no
+// range-delete support.
+func (c *Client) DeleteRange(start, end []byte) error {
+	status, payload, err := c.roundTrip(OpDelRange, start, end)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("server: %s", payload)
+	}
+	return nil
+}
+
+// GetMulti reads several keys in one round trip. Results are
+// positional: values[i] and errs[i] answer keys[i], with
+// kvstore.ErrNotFound per missing key; a transport or server failure is
+// reported in every errs[i].
+func (c *Client) GetMulti(keys [][]byte) ([][]byte, []error) {
+	return c.mget(0, keys)
+}
+
+func (c *Client) mget(snapID uint64, keys [][]byte) ([][]byte, []error) {
+	values := make([][]byte, len(keys))
+	errs := make([]error, len(keys))
+	if len(keys) == 0 {
+		return values, errs
+	}
+	fail := func(err error) ([][]byte, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return values, errs
+	}
+	status, payload, err := c.roundTrip(OpMGet, nil, EncodeMGetRequest(snapID, keys))
+	if err != nil {
+		return fail(err)
+	}
+	if status != StatusOK {
+		return fail(fmt.Errorf("server: %s", payload))
+	}
+	vs, es, err := DecodeMGetResponse(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if len(vs) != len(keys) {
+		return fail(fmt.Errorf("server: mget answered %d of %d keys", len(vs), len(keys)))
+	}
+	return vs, es
+}
+
+// ClientSnap is a server-side snapshot captured over a legacy
+// connection; see the pipelined client's Snap for the full story.
+type ClientSnap struct {
+	c  *Client
+	id uint64
+}
+
+// Snapshot captures a consistent snapshot on the server.
+func (c *Client) Snapshot() (*ClientSnap, error) {
+	status, payload, err := c.roundTrip(OpSnap, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+	if len(payload) != 8 {
+		return nil, fmt.Errorf("server: malformed snapshot id")
+	}
+	return &ClientSnap{c: c, id: binary.LittleEndian.Uint64(payload)}, nil
+}
+
+// Get returns the value key had when the snapshot was captured.
+func (s *ClientSnap) Get(key []byte) ([]byte, error) {
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], s.id)
+	status, payload, err := s.c.roundTrip(OpSnapGet, key, id[:])
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case StatusOK:
+		return payload, nil
+	case StatusNotFound:
+		return nil, kvstore.ErrNotFound
+	default:
+		return nil, fmt.Errorf("server: %s", payload)
+	}
+}
+
+// GetMulti reads several keys from the snapshot's cut; all answers are
+// mutually consistent.
+func (s *ClientSnap) GetMulti(keys [][]byte) ([][]byte, []error) {
+	return s.c.mget(s.id, keys)
+}
+
+// Close releases the snapshot on the server.
+func (s *ClientSnap) Close() error {
+	var id [8]byte
+	binary.LittleEndian.PutUint64(id[:], s.id)
+	status, payload, err := s.c.roundTrip(OpSnapRel, nil, id[:])
 	if err != nil {
 		return err
 	}

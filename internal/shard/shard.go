@@ -46,6 +46,15 @@ type Router struct {
 	// gov is the adaptive memory governor (OpenGoverned); nil on a
 	// static router — no goroutine, no target ever moved.
 	gov *governor
+	// cutMu orders multi-shard commits against cross-shard snapshot
+	// capture. A batch that touches several shards (or a broadcast range
+	// delete) holds the read side across all of its per-shard commits;
+	// Snapshot holds the write side while it captures every shard's
+	// bound. Without it a capture could land between one batch's
+	// per-shard commits and see a torn cut. Single-shard operations never
+	// touch it — their commit is atomic under the one shard's commit
+	// lock, which SnapshotAll already holds during capture.
+	cutMu sync.RWMutex
 }
 
 // Open creates a router over n fresh shards, each configured with opts
@@ -108,6 +117,54 @@ func (r *Router) Delete(key []byte) error {
 	return r.shards[shardOf(key, len(r.shards))].Delete(key)
 }
 
+// DeleteRange deletes every key k with start ≤ k < end (empty end =
+// unbounded) across all shards. A range spans hash partitions, so the
+// tombstone is broadcast: each shard commits its own O(1) tombstone,
+// concurrently. There is no cross-shard atomicity — on error (or a crash
+// mid-broadcast) some shards may carry the tombstone while others do not,
+// the same contract as a cross-shard batch.
+func (r *Router) DeleteRange(start, end []byte) error {
+	r.cutMu.RLock()
+	defer r.cutMu.RUnlock()
+	return r.each(func(db *core.DB) error { return db.DeleteRange(start, end) })
+}
+
+// GetMulti reads several keys in one operation, grouped by shard and
+// fetched shard-concurrently. Results are positional: values[i] / errs[i]
+// answer keys[i]. Each shard's group is answered from one pinned version
+// (mutually consistent within the shard); like Scan, the combined result
+// is not a single cross-shard cut — use Snapshot for that.
+func (r *Router) GetMulti(getKeys [][]byte) ([][]byte, []error) {
+	values := make([][]byte, len(getKeys))
+	errs := make([]error, len(getKeys))
+	if len(getKeys) == 0 {
+		return values, errs
+	}
+	perKeys := make([][][]byte, len(r.shards))
+	perIdx := make([][]int, len(r.shards))
+	for i, key := range getKeys {
+		s := shardOf(key, len(r.shards))
+		perKeys[s] = append(perKeys[s], key)
+		perIdx[s] = append(perIdx[s], i)
+	}
+	var wg sync.WaitGroup
+	for s, group := range perKeys {
+		if len(group) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, group [][]byte) {
+			defer wg.Done()
+			vs, es := r.shards[s].GetMulti(group)
+			for j, i := range perIdx[s] {
+				values[i], errs[i] = vs[j], es[j]
+			}
+		}(s, group)
+	}
+	wg.Wait()
+	return values, errs
+}
+
 // Write splits the batch by routing hash and applies each shard's slice
 // as one commit on that shard. Atomicity is per shard: a shard's slice
 // is logged with one WAL append and is all-or-nothing across a crash,
@@ -121,7 +178,15 @@ func (r *Router) Write(b *core.Batch) error {
 	}
 	per := make([][]kvstore.BatchOp, len(r.shards))
 	emptyKey := false
-	b.Each(func(key, value []byte, del bool) {
+	b.Each(func(key, value []byte, del, rangeDel bool) {
+		if rangeDel {
+			// A range spans hash partitions: broadcast the tombstone to
+			// every shard, in batch order relative to the shard's own ops.
+			for i := range per {
+				per[i] = append(per[i], kvstore.BatchOp{Key: key, Value: value, RangeDelete: true})
+			}
+			return
+		}
 		if len(key) == 0 {
 			emptyKey = true
 			return
@@ -146,6 +211,12 @@ func (r *Router) WriteBatch(ops []kvstore.BatchOp) error {
 	}
 	per := make([][]kvstore.BatchOp, len(r.shards))
 	for _, op := range ops {
+		if op.RangeDelete {
+			for i := range per {
+				per[i] = append(per[i], op)
+			}
+			continue
+		}
 		if len(op.Key) == 0 {
 			return fmt.Errorf("miodb: empty key in batch")
 		}
@@ -174,6 +245,10 @@ func (r *Router) applySplit(per [][]kvstore.BatchOp) error {
 	case 1:
 		return r.shards[last].WriteBatch(per[last])
 	}
+	// Multi-shard: hold the cut lock across all per-shard commits so a
+	// concurrent Snapshot sees this batch entirely or not at all.
+	r.cutMu.RLock()
+	defer r.cutMu.RUnlock()
 	var wg sync.WaitGroup
 	errs := make([]error, len(per))
 	for i, ops := range per {
@@ -342,6 +417,8 @@ func RecoverShards(imgs []*core.CrashImage, opts core.Options) (*Router, error) 
 }
 
 var (
-	_ kvstore.Store       = (*Router)(nil)
-	_ kvstore.BatchWriter = (*Router)(nil)
+	_ kvstore.Store        = (*Router)(nil)
+	_ kvstore.BatchWriter  = (*Router)(nil)
+	_ kvstore.RangeDeleter = (*Router)(nil)
+	_ kvstore.MultiGetter  = (*Router)(nil)
 )

@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"miodb/internal/core"
+	"miodb/internal/kvstore"
+)
+
+// TestShardSnapshotReadPaths: a router snapshot answers Get, GetMulti,
+// Scan, and the merged iterator from its cut, across shards, while the
+// live router moves on.
+func TestShardSnapshotReadPaths(t *testing.T) {
+	r := mustRouter(t, 4, testOpts())
+	defer r.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	for i := 0; i < 200; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.DeleteRange([]byte("k0050"), []byte("k0150")); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, err := snap.Get([]byte("k0100")); err != nil || string(v) != "old" {
+		t.Fatalf("snap.Get = %q, %v", v, err)
+	}
+	values, errs := snap.GetMulti([][]byte{[]byte("k0000"), []byte("k0100"), []byte("k0199"), []byte("nope")})
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil || string(values[i]) != "old" {
+			t.Fatalf("snap mget[%d] = %q, %v", i, values[i], errs[i])
+		}
+	}
+	if errs[3] != kvstore.ErrNotFound {
+		t.Fatalf("snap mget[absent] err = %v", errs[3])
+	}
+
+	// Cut scan: all 200 keys, globally ordered, all old.
+	var last string
+	n := 0
+	err = snap.Scan(nil, 0, func(k, v []byte) bool {
+		if string(v) != "old" {
+			t.Fatalf("snap scan saw %q=%q", k, v)
+		}
+		if string(k) <= last {
+			t.Fatalf("snap scan out of order: %q after %q", k, last)
+		}
+		last = string(k)
+		n++
+		return true
+	})
+	if err != nil || n != 200 {
+		t.Fatalf("snap scan n=%d err=%v", n, err)
+	}
+	// Live router reflects the range delete.
+	n = 0
+	if err := r.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("live scan n=%d, want 100", n)
+	}
+}
+
+// TestShardSnapshotCutConsistency: concurrent multi-shard batches versus
+// repeated snapshots — every batch must be entirely inside or entirely
+// outside each cut. This is the guarantee cutMu provides; without it a
+// capture can land between one batch's per-shard commits.
+func TestShardSnapshotCutConsistency(t *testing.T) {
+	r := mustRouter(t, 4, testOpts())
+	defer r.Close()
+
+	// Keys chosen to land on different shards; every batch writes the same
+	// round number to all of them.
+	keys := make([][]byte, 16)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("cut%04d", i))
+	}
+	var stop atomic.Bool
+	var writerErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; !stop.Load(); round++ {
+			b := &core.Batch{}
+			v := []byte(fmt.Sprintf("r%06d", round))
+			for _, k := range keys {
+				b.Put(k, v)
+			}
+			if err := r.Write(b); err != nil {
+				writerErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	for cap := 0; cap < 100; cap++ {
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		values, errs := snap.GetMulti(keys)
+		snap.Close()
+		var want string
+		for i := range keys {
+			if errs[i] == kvstore.ErrNotFound {
+				want = "absent"
+				continue
+			}
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			if want == "" {
+				want = string(values[i])
+			} else if string(values[i]) != want {
+				t.Fatalf("torn cut: key %s = %q, others = %q", keys[i], values[i], want)
+			}
+		}
+		if want == "absent" {
+			// All-absent is a consistent (pre-first-batch) cut; mixed
+			// absent/present would have tripped the comparison above.
+			for i := range keys {
+				if errs[i] != kvstore.ErrNotFound {
+					t.Fatalf("torn cut: key %s present while others absent", keys[i])
+				}
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := writerErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardDeleteRangeBroadcast: a range delete reaches every shard
+// atomically with respect to snapshots — a cut sees either no shard
+// with the tombstone or all of them.
+func TestShardDeleteRangeBroadcast(t *testing.T) {
+	r := mustRouter(t, 4, testOpts())
+	defer r.Close()
+	for i := 0; i < 400; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var delErr atomic.Value
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			var err error
+			if i%2 == 0 {
+				err = r.DeleteRange([]byte("k0000"), nil)
+			} else {
+				b := &core.Batch{}
+				for j := 0; j < 400; j++ {
+					b.Put([]byte(fmt.Sprintf("k%04d", j)), []byte("v"))
+				}
+				err = r.Write(b)
+			}
+			if err != nil {
+				delErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	for cap := 0; cap < 60; cap++ {
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		if err := snap.Scan(nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		snap.Close()
+		if n != 0 && n != 400 {
+			t.Fatalf("torn range delete: cut has %d of 400 keys", n)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := delErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSnapshotSurvivesChurn: the cut stays intact through flushes
+// and compactions on every shard, and a leaked snapshot blocks Close
+// until released.
+func TestShardSnapshotSurvivesChurn(t *testing.T) {
+	r := mustRouter(t, 4, testOpts())
+	for i := 0; i < 300; i++ {
+		if err := r.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 300; i++ {
+			if err := r.Put([]byte(fmt.Sprintf("k%04d", i)), []byte("churn")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, i := range []int{0, 123, 299} {
+		k := fmt.Sprintf("k%04d", i)
+		if v, err := snap.Get([]byte(k)); err != nil || string(v) != fmt.Sprintf("old-%d", i) {
+			t.Fatalf("snap.Get(%s) after churn = %q, %v", k, v, err)
+		}
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardSnapshotSSDRefused: if the shards run in SSD mode the router
+// refuses the capture and leaks nothing.
+func TestShardSnapshotSSDRefused(t *testing.T) {
+	opts := testOpts()
+	opts.SSD = &core.SSDOptions{}
+	r := mustRouter(t, 2, opts)
+	defer r.Close()
+	if _, err := r.Snapshot(); err != core.ErrSnapshotUnsupported {
+		t.Fatalf("Snapshot on SSD shards err = %v", err)
+	}
+}

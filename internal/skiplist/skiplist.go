@@ -189,6 +189,13 @@ func (l *List) InsertEntry(key, value []byte, seq uint64, kind keys.Kind) (Node,
 // version of that key first), or the nil node.
 func (l *List) FindGE(key []byte) Node { return l.seekGE(key, keys.MaxSeq) }
 
+// SeekGE returns the first node ≥ (key, seq) in internal (key asc, seq
+// desc) order, or the nil node. Re-seek iterators over actively merging
+// tables use it to find their strict successor from the live list head
+// on every step (SeekGE(k, s-1) is the first entry strictly after
+// (k, s)), instead of chasing node pointers a migration may rewrite.
+func (l *List) SeekGE(key []byte, seq uint64) Node { return l.seekGE(key, seq) }
+
 // newNode allocates and fills a node in the home region, charging the
 // device one bulk write for the fill.
 func (l *List) newNode(key, value []byte, seq uint64, kind keys.Kind, height int) (Node, error) {
@@ -212,6 +219,21 @@ func (l *List) newNode(key, value []byte, seq uint64, kind keys.Kind, height int
 // Get returns the newest version of key, if any version exists.
 func (l *List) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool) {
 	n := l.seekGE(key, keys.MaxSeq)
+	if n.IsNil() {
+		return nil, 0, 0, false
+	}
+	if keys.Compare(n.Key(), 0, key, 0) != 0 {
+		return nil, 0, 0, false
+	}
+	return n.Value(), n.Seq(), n.Kind(), true
+}
+
+// GetBounded returns the newest version of key with sequence ≤ maxSeq, if
+// one exists. Because entries order by (key asc, seq desc), the first node
+// ≥ (key, maxSeq) is exactly that version when its user key matches.
+// Snapshot reads use it to see through writes newer than their bound.
+func (l *List) GetBounded(key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool) {
+	n := l.seekGE(key, maxSeq)
 	if n.IsNil() {
 		return nil, 0, 0, false
 	}

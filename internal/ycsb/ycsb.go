@@ -134,24 +134,32 @@ const (
 	OpInsert
 	OpScan
 	OpReadModifyWrite
+	// OpMultiRead reads a group of keys in one logical operation (the
+	// "assemble a page of records" shape MGET serves); KeyIdxs carries
+	// the group.
+	OpMultiRead
 )
 
 // Workload is a YCSB operation mix over a chooser.
 type Workload struct {
 	// Name is the YCSB letter (A–F) or "load".
 	Name string
-	// ReadProp..RMWProp are the operation proportions (sum to 1).
-	ReadProp, UpdateProp, InsertProp, ScanProp, RMWProp float64
+	// ReadProp..MultiReadProp are the operation proportions (sum to 1).
+	ReadProp, UpdateProp, InsertProp, ScanProp, RMWProp, MultiReadProp float64
 	// Chooser picks keys (zipfian unless stated).
 	Chooser Chooser
 	// MaxScanLen bounds scan lengths (YCSB default 100).
 	MaxScanLen int
+	// MultiGetSize is the keys per OpMultiRead group (default 8).
+	MultiGetSize int
 }
 
 // StandardWorkload returns workload A–F as the paper describes them:
 // A 50/50 read/update; B 95/5; C read-only; D 95/5 read/insert with the
 // latest distribution; E 95/5 scan/insert; F 50/50 read/RMW. All zipfian
-// (99% skewness) except D.
+// (99% skewness) except D. The extra letter M is this reproduction's
+// multi-get mix: 95% multi-reads of 8 zipfian keys (one GetMulti per
+// operation on stores that support it) and 5% updates.
 func StandardWorkload(letter string, keyspace uint64, seed int64) (*Workload, error) {
 	w := &Workload{Name: letter, MaxScanLen: 100}
 	switch letter {
@@ -168,6 +176,9 @@ func StandardWorkload(letter string, keyspace uint64, seed int64) (*Workload, er
 		w.ScanProp, w.InsertProp = 0.95, 0.05
 	case "F", "f":
 		w.ReadProp, w.RMWProp = 0.5, 0.5
+	case "M", "m":
+		w.MultiReadProp, w.UpdateProp = 0.95, 0.05
+		w.MultiGetSize = 8
 	default:
 		return nil, fmt.Errorf("ycsb: unknown workload %q", letter)
 	}
@@ -182,6 +193,8 @@ type Op struct {
 	Kind    OpKind
 	KeyIdx  uint64
 	ScanLen int
+	// KeyIdxs is the group an OpMultiRead answers (nil otherwise).
+	KeyIdxs []uint64
 }
 
 // Generator draws operations from a workload.
@@ -219,6 +232,16 @@ func (g *Generator) Next() Op {
 			KeyIdx:  g.w.Chooser.Choose(g.recordCount),
 			ScanLen: 1 + g.rnd.Intn(w.MaxScanLen),
 		}
+	case p < w.ReadProp+w.UpdateProp+w.InsertProp+w.ScanProp+w.MultiReadProp:
+		size := w.MultiGetSize
+		if size <= 0 {
+			size = 8
+		}
+		idxs := make([]uint64, size)
+		for i := range idxs {
+			idxs[i] = g.w.Chooser.Choose(g.recordCount)
+		}
+		return Op{Kind: OpMultiRead, KeyIdxs: idxs}
 	default:
 		return Op{Kind: OpReadModifyWrite, KeyIdx: g.w.Chooser.Choose(g.recordCount)}
 	}

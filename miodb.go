@@ -24,6 +24,15 @@
 // byte-addressable NVM device with calibrated latency/bandwidth ratios and
 // full traffic accounting; see DESIGN.md for the substitution argument.
 //
+// The read API is versioned on top of the engine's epoch substrate: every
+// read — Get, GetMulti, Scan, NewIterator — runs against a pinned
+// immutable version of the store, and Snapshot exposes that pin as a
+// first-class handle: an O(1), arbitrarily long-lived consistent view
+// (consistent across shards) that later writes, flushes, and compactions
+// never disturb. DeleteRange completes the write side with O(1) logical
+// range deletion via range tombstones, honored by every read path and
+// reclaimed lazily by the compaction pipeline. See DESIGN.md §13.
+//
 // Quick start:
 //
 //	db, err := miodb.Open(nil)
@@ -31,12 +40,22 @@
 //	defer db.Close()
 //	db.Put([]byte("k"), []byte("v"))
 //	v, err := db.Get([]byte("k"))
+//
+//	snap, _ := db.Snapshot()          // consistent view, O(1)
+//	db.Put([]byte("k"), []byte("v2")) // invisible to snap
+//	old, _ := snap.Get([]byte("k"))   // still "v"
+//	snap.Close()
+//
+//	vals, errs := db.GetMulti([][]byte{[]byte("a"), []byte("b")})
+//	_ = db.DeleteRange([]byte("user#"), []byte("user$")) // drop a prefix
+//	_, _ = vals, errs
 package miodb
 
 import (
 	"fmt"
 
 	"miodb/internal/core"
+	"miodb/internal/kvstore"
 	"miodb/internal/shard"
 	"miodb/internal/stats"
 )
@@ -46,6 +65,15 @@ var ErrNotFound = core.ErrNotFound
 
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = core.ErrClosed
+
+// ErrSnapshotClosed is returned by reads on a closed Snapshot.
+var ErrSnapshotClosed = core.ErrSnapshotClosed
+
+// ErrSnapshotUnsupported is returned by Snapshot on SSD-mode stores
+// (Options.UseSSD): the on-SSD compactor rewrites tables in place with no
+// version pinning, so a long-lived consistent view cannot be guaranteed
+// there.
+var ErrSnapshotUnsupported = core.ErrSnapshotUnsupported
 
 // ErrDegraded wraps the first background failure once a store has latched
 // itself read-only: writes are refused, reads keep serving the last
@@ -132,13 +160,6 @@ type Options struct {
 	// mutex-refcount version pinning (an ablation for comparison; epoch
 	// reads are on by default).
 	DisableEpochReads bool
-
-	// GroupCommit is the older pointer-valued form of the group-commit
-	// toggle (nil/true = on, Bool(false) = off).
-	//
-	// Deprecated: set DisableGroupCommit instead. When non-nil this field
-	// takes precedence, so existing callers keep their behavior.
-	GroupCommit *bool
 }
 
 // GovernorOptions tunes the adaptive memory governor (tick interval,
@@ -154,12 +175,6 @@ type GovernorOptions = shard.GovernorOptions
 // zero disable the corresponding trigger; see core.AdmissionOptions for
 // field semantics.
 type AdmissionOptions = core.AdmissionOptions
-
-// Bool returns a pointer to b, for the deprecated pointer-valued options.
-//
-// Deprecated: the boolean toggles are now plain Disable* fields
-// (DisableGroupCommit, DisableEpochReads); no pointer helper is needed.
-func Bool(b bool) *bool { return core.Bool(b) }
 
 // maxLevels bounds Options.Levels: beyond this each extra level is one
 // more idle compaction goroutine per shard with no measurable benefit
@@ -230,10 +245,7 @@ func (opts *Options) coreOptions() core.Options {
 	co.Admission = opts.Admission
 	co.Simulate = opts.Simulate
 	co.TimeScale = opts.TimeScale
-	// The deprecated pointer toggle wins when set; otherwise the plain
-	// Disable* field selects the ablation (nil keeps the default on).
-	co.GroupCommit = opts.GroupCommit
-	if co.GroupCommit == nil && opts.DisableGroupCommit {
+	if opts.DisableGroupCommit {
 		co.GroupCommit = core.Bool(false)
 	}
 	if opts.DisableEpochReads {
@@ -354,6 +366,36 @@ func (db *DB) Delete(key []byte) error {
 	return db.single.Delete(key)
 }
 
+// DeleteRange deletes every key k with start ≤ k < end in one O(1)
+// logical operation; an empty end deletes every key ≥ start, and an
+// otherwise empty range is a no-op. The range tombstone is durable (WAL)
+// when DeleteRange returns and is honored by every read path immediately;
+// the covered entries are physically reclaimed later by the normal
+// compaction pipeline. Snapshots taken before the DeleteRange keep
+// reading the covered keys. On a sharded store the tombstone is broadcast
+// to every shard (a range spans hash partitions); like a cross-shard
+// batch, live readers may observe the broadcast mid-way, but a Snapshot
+// always sees it entirely applied or not at all.
+func (db *DB) DeleteRange(start, end []byte) error {
+	if db.router != nil {
+		return db.router.DeleteRange(start, end)
+	}
+	return db.single.DeleteRange(start, end)
+}
+
+// GetMulti reads several keys in one operation. Results are positional:
+// values[i] and errs[i] answer keys[i], with ErrNotFound per missing key.
+// All lookups are answered from one pinned version per engine — cheaper
+// and more consistent than n sequential Gets; on a sharded store the
+// groups run shard-concurrently (per-shard consistency; use Snapshot for
+// a single cross-shard cut).
+func (db *DB) GetMulti(keys [][]byte) ([][]byte, []error) {
+	if db.router != nil {
+		return db.router.GetMulti(keys)
+	}
+	return db.single.GetMulti(keys)
+}
+
 // Batch collects writes for atomic application via Write.
 type Batch = core.Batch
 
@@ -410,6 +452,73 @@ func (db *DB) NewIterator() Iterator {
 		return db.router.NewIterator()
 	}
 	return db.single.NewIterator()
+}
+
+// Snapshot is a long-lived consistent read-only view of the store: every
+// read answers exactly as of capture time, no matter how many writes,
+// flushes, or compactions happen afterwards. Snapshots are O(1) to take —
+// a version pin plus a sequence bound, no data copied — and arbitrarily
+// long-lived; the cost of holding one is that memory superseded after the
+// capture cannot be reclaimed until it closes. Callers must Close every
+// snapshot (and every iterator derived from one) before closing the
+// store, exactly like an Iterator.
+type Snapshot interface {
+	// Get returns the value key had at capture, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// GetMulti reads several keys from the cut, positionally; all
+	// answers are mutually consistent.
+	GetMulti(keys [][]byte) ([][]byte, []error)
+	// Scan calls fn for up to limit keys ≥ start as of capture, in
+	// order; fn returning false stops early. limit ≤ 0 means no limit.
+	Scan(start []byte, limit int, fn func(key, value []byte) bool) error
+	// NewIterator returns an ordered iterator over the cut. It holds its
+	// own reference and stays valid even if the Snapshot closes first.
+	NewIterator() Iterator
+	// Close releases the snapshot, letting reclamation resume.
+	// Idempotent.
+	Close() error
+}
+
+// coreSnapshot adapts *core.Snapshot's concrete iterator to the public
+// interface; shardSnapshot does the same for the cross-shard cut.
+type coreSnapshot struct{ *core.Snapshot }
+
+func (s coreSnapshot) NewIterator() Iterator { return s.Snapshot.NewIterator() }
+
+type shardSnapshot struct{ *shard.Snapshot }
+
+func (s shardSnapshot) NewIterator() Iterator { return s.Snapshot.NewIterator() }
+
+// Snapshot captures a consistent view of the store. On a sharded store
+// the capture briefly coordinates with every shard's commit path (all
+// commit locks taken in shard order before any bound is read), so the cut
+// is consistent across shards: a multi-shard batch is either entirely
+// visible or entirely invisible. Returns ErrSnapshotUnsupported on
+// SSD-mode stores.
+func (db *DB) Snapshot() (Snapshot, error) {
+	if db.router != nil {
+		s, err := db.router.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		return shardSnapshot{s}, nil
+	}
+	s, err := db.single.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return coreSnapshot{s}, nil
+}
+
+// SnapshotView adapts Snapshot to the kvstore.Snapshotter capability the
+// network server probes for, so a served DB answers the SNAP protocol
+// ops.
+func (db *DB) SnapshotView() (kvstore.SnapshotView, error) {
+	s, err := db.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Flush forces the DRAM buffer(s) out and waits for all background

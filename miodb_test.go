@@ -301,9 +301,10 @@ func TestShardedPublicAPI(t *testing.T) {
 	}
 }
 
-// TestToggleForms: both the plain Disable* toggles and the deprecated
-// pointer form must configure a working store, including together (the
-// pointer wins when non-nil, preserving existing callers' behavior).
+// TestToggleForms: the plain Disable* toggles must configure a working
+// store, alone and together (the deprecated GroupCommit pointer form and
+// its Bool helper were removed from the public surface; internal/core
+// keeps the pointer option for its ablation tests).
 func TestToggleForms(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -311,8 +312,7 @@ func TestToggleForms(t *testing.T) {
 	}{
 		{"disable-group-commit", &Options{DisableGroupCommit: true}},
 		{"disable-epoch-reads", &Options{DisableEpochReads: true}},
-		{"deprecated-pointer-off", &Options{GroupCommit: Bool(false)}},
-		{"pointer-overrides-disable", &Options{GroupCommit: Bool(true), DisableGroupCommit: true}},
+		{"both-ablations", &Options{DisableGroupCommit: true, DisableEpochReads: true}},
 		{"sharded-ablations", &Options{Shards: 2, DisableGroupCommit: true, DisableEpochReads: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,70 @@
+#!/bin/sh
+# apidiff.sh — flag public-API breaks in the root miodb package against a
+# baseline revision (the previous release tag, or the previous commit when
+# no tag exists yet).
+#
+# Behavior is deliberately soft by default so `make check` works on a
+# machine without the tool or the network to fetch it:
+#
+#   - apidiff binary missing  -> print how to get it, exit 0 (skip).
+#     Set APIDIFF_INSTALL=1 (CI does) to `go install` it first.
+#   - incompatible changes    -> report them; exit 1 only when
+#     APIDIFF_STRICT=1 (CI does), otherwise warn and exit 0.
+#
+# Only the root package is compared: everything under internal/ is
+# invisible to importers and free to change.
+set -u
+
+GO=${GO:-go}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo" || exit 1
+
+# Locate (or, on request, install) the apidiff tool.
+APIDIFF=$(command -v apidiff || true)
+if [ -z "$APIDIFF" ]; then
+    gobin=$("$GO" env GOPATH)/bin
+    [ -x "$gobin/apidiff" ] && APIDIFF="$gobin/apidiff"
+fi
+if [ -z "$APIDIFF" ] && [ "${APIDIFF_INSTALL:-}" = "1" ]; then
+    echo "apidiff: installing golang.org/x/exp/cmd/apidiff..."
+    "$GO" install golang.org/x/exp/cmd/apidiff@latest || exit 1
+    APIDIFF=$("$GO" env GOPATH)/bin/apidiff
+fi
+if [ -z "$APIDIFF" ]; then
+    echo "apidiff: tool not installed; skipping public-API check"
+    echo "apidiff: (go install golang.org/x/exp/cmd/apidiff@latest, or APIDIFF_INSTALL=1)"
+    exit 0
+fi
+
+# Baseline: previous tag when the repo has one, else the previous commit.
+base=${APIDIFF_BASE:-$(git describe --tags --abbrev=0 2>/dev/null || true)}
+if [ -z "$base" ]; then
+    base=$(git rev-parse --verify -q HEAD~1) || {
+        echo "apidiff: no baseline revision available; skipping"
+        exit 0
+    }
+fi
+
+tmp=$(mktemp -d)
+trap 'git worktree remove --force "$tmp/base" >/dev/null 2>&1; rm -rf "$tmp"' EXIT
+
+git worktree add --detach "$tmp/base" "$base" >/dev/null 2>&1 || {
+    echo "apidiff: cannot check out baseline $base; skipping"
+    exit 0
+}
+
+echo "apidiff: comparing public API of ./ against $base"
+(cd "$tmp/base" && "$APIDIFF" -w "$tmp/old.export" .) || exit 1
+out=$("$APIDIFF" "$tmp/old.export" . 2>&1) || exit 1
+[ -n "$out" ] && printf '%s\n' "$out"
+
+if printf '%s' "$out" | grep -q '^Incompatible changes:'; then
+    if [ "${APIDIFF_STRICT:-}" = "1" ]; then
+        echo "apidiff: FAIL — incompatible public-API changes vs $base"
+        exit 1
+    fi
+    echo "apidiff: WARNING — incompatible public-API changes vs $base (APIDIFF_STRICT=1 to fail)"
+else
+    echo "apidiff: OK — no incompatible changes vs $base"
+fi
+exit 0
