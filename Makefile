@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check torture apicheck bench-concurrent bench-readscale bench-shardscale bench-netscale bench-multiget bench-stability bench-membalance profile repro clean
+.PHONY: all build vet test race check torture apicheck bench-concurrent bench-readscale bench-shardscale bench-netscale bench-multiget bench-stability bench-membalance bench-valuesize profile repro clean
 
 all: check
 
@@ -76,6 +76,12 @@ bench-stability:
 # timelines.
 bench-membalance:
 	$(GO) run ./cmd/miodb-repro -experiment membalance -json_dir .
+
+# Key-value separation: fillrandom/readrandom and write amplification
+# across value sizes (128 B – 256 KB), value log on vs off at equal
+# memory budget; writes BENCH_valuesize.json.
+bench-valuesize:
+	$(GO) run ./cmd/miodb-repro -experiment valuesize -json_dir .
 
 # Capture mutex/block contention profiles from 8-thread read-only
 # readscale runs of both read-path arms (epoch-pinned and the

@@ -43,6 +43,9 @@ func main() {
 		hardImms   = flag.Int("hard_imms", 0, "miodb admission control: block commits at this imms backlog (0 = off)")
 		memBudget  = flag.Int64("memory_budget", 0, "global memtable budget in bytes split across shards (0 = per-shard write_buffer_size)")
 		governor   = flag.Bool("governor", false, "adaptively rebalance the memtable budget across shards by write heat (requires -shards > 1)")
+		valueLog   = flag.Bool("value_log", false, "miodb key-value separation: append large values to a value log, store 16-byte pointers in the LSM")
+		valueThres = flag.Int("value_threshold", 0, "minimum value size in bytes routed to the value log (0 = default 1024; implies -value_log)")
+		valueOnSSD = flag.Bool("value_log_ssd", false, "place value-log segments on the simulated SSD tier (implies -value_log)")
 		jsonOut    = flag.String("json", "", "write a machine-readable record of every run to this path")
 		reps       = flag.Int("reps", 1, "repetitions per benchmark (reported best; all reps recorded in -json output)")
 	)
@@ -75,6 +78,9 @@ func main() {
 	cfg.MemoryBudget = *memBudget
 	if *governor {
 		cfg.Governor = &shard.GovernorOptions{}
+	}
+	if *valueLog || *valueThres > 0 || *valueOnSSD {
+		cfg.ValueLog = &core.ValueLogOptions{Threshold: *valueThres, OnSSD: *valueOnSSD}
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"miodb/internal/bench"
+	"miodb/internal/core"
 	"miodb/internal/histogram"
 	"miodb/internal/shard"
 	"miodb/internal/stats"
@@ -34,6 +35,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		memBudget = flag.Int64("memory_budget", 0, "global memtable budget in bytes split across shards (0 = per-shard default)")
 		governor  = flag.Bool("governor", false, "adaptively rebalance the memtable budget across shards by write heat (requires -shards > 1)")
+		valueLog  = flag.Bool("value_log", false, "miodb key-value separation: append large values to a value log, store 16-byte pointers in the LSM")
+		valueThr  = flag.Int("value_threshold", 0, "minimum value size in bytes routed to the value log (0 = default 1024; implies -value_log)")
+		valueSSD  = flag.Bool("value_log_ssd", false, "place value-log segments on the simulated SSD tier (implies -value_log)")
 	)
 	flag.Parse()
 	if *shards < 1 {
@@ -50,6 +54,9 @@ func main() {
 	}
 	if *governor {
 		cfg.Governor = &shard.GovernorOptions{}
+	}
+	if *valueLog || *valueThr > 0 || *valueSSD {
+		cfg.ValueLog = &core.ValueLogOptions{Threshold: *valueThr, OnSSD: *valueSSD}
 	}
 	s, err := bench.OpenStore(cfg)
 	if err != nil {

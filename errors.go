@@ -1,0 +1,44 @@
+package miodb
+
+import (
+	"miodb/internal/core"
+	"miodb/internal/vlog"
+)
+
+// The public error surface, consolidated. Every sentinel here is the
+// same value the internal layers use, so errors.Is works across the
+// whole stack — a core read, a sharded router, the network client
+// mapping wire statuses, and this package all agree on identity.
+
+// ErrNotFound is returned by Get (and per-key by GetMulti) when a key
+// has no live value. Deleting an absent key is not an error; reading
+// one is this.
+var ErrNotFound = core.ErrNotFound
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = core.ErrClosed
+
+// ErrSnapshotClosed is returned by reads on a closed Snapshot.
+var ErrSnapshotClosed = core.ErrSnapshotClosed
+
+// ErrSnapshotUnsupported is returned by Snapshot on SSD-mode stores
+// (Options.UseSSD): the on-SSD compactor rewrites tables in place with
+// no version pinning, so a long-lived consistent view cannot be
+// guaranteed there.
+var ErrSnapshotUnsupported = core.ErrSnapshotUnsupported
+
+// ErrDegraded wraps the first background failure once a store has latched
+// itself read-only: writes are refused, reads keep serving the last
+// consistent state. errors.Is(err, ErrDegraded) identifies the mode; Err
+// returns the latched cause. On a sharded store only the failed shard
+// refuses writes; healthy shards keep serving their slice of the
+// keyspace.
+var ErrDegraded = core.ErrDegraded
+
+// ErrValueLogCorrupt reports a value-log pointer that failed to resolve
+// during a read: an unknown segment, an out-of-bounds address, or a
+// checksum mismatch. It indicates an invariant violation (corrupted
+// media or a bug), never an expected runtime condition — a healthy
+// store's garbage collector never reclaims a segment a live reader,
+// snapshot, or pinned version can still reference.
+var ErrValueLogCorrupt = vlog.ErrCorrupt

@@ -1,0 +1,55 @@
+package miodb
+
+import (
+	"errors"
+	"testing"
+
+	"miodb/internal/core"
+	"miodb/internal/kvstore"
+	"miodb/internal/vlog"
+)
+
+// TestSentinelIdentity pins the one-value-per-error contract: the public
+// sentinels, the kvstore contract package, and the internal layers that
+// raise them all share identity, so errors.Is answers the same no matter
+// which layer produced or matched the error.
+func TestSentinelIdentity(t *testing.T) {
+	pairs := []struct {
+		name             string
+		public, internal error
+	}{
+		{"ErrNotFound", ErrNotFound, kvstore.ErrNotFound},
+		{"ErrClosed", ErrClosed, kvstore.ErrClosed},
+		{"ErrDegraded", ErrDegraded, kvstore.ErrDegraded},
+		{"ErrDegraded/core", ErrDegraded, core.ErrDegraded},
+		{"ErrSnapshotUnsupported", ErrSnapshotUnsupported, kvstore.ErrSnapshotUnsupported},
+		{"ErrSnapshotUnsupported/core", ErrSnapshotUnsupported, core.ErrSnapshotUnsupported},
+		{"ErrSnapshotClosed", ErrSnapshotClosed, core.ErrSnapshotClosed},
+		{"ErrValueLogCorrupt", ErrValueLogCorrupt, kvstore.ErrValueLogCorrupt},
+		{"ErrValueLogCorrupt/vlog", ErrValueLogCorrupt, vlog.ErrCorrupt},
+	}
+	for _, p := range pairs {
+		if !errors.Is(p.public, p.internal) || !errors.Is(p.internal, p.public) {
+			t.Errorf("%s: public and internal sentinels are distinct values", p.name)
+		}
+	}
+}
+
+// TestSentinelsSurfaceThroughAPI: the sentinels are what the public API
+// actually returns, not merely aliases that happen to exist.
+func TestSentinelsSurfaceThroughAPI(t *testing.T) {
+	db, err := Open(&Options{UseSSD: true, MemTableSize: 8 << 10, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("absent")); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(absent) = %v, want ErrNotFound", err)
+	}
+	if _, err := db.Snapshot(); !errors.Is(err, ErrSnapshotUnsupported) {
+		t.Errorf("Snapshot on SSD store = %v, want ErrSnapshotUnsupported", err)
+	}
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put on closed store = %v, want ErrClosed", err)
+	}
+}

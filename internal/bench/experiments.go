@@ -92,6 +92,7 @@ func Experiments() []Experiment {
 		{"multiget", "Versioned read API: GetMulti vs pipelined Gets at group sizes 1-16", MultiGet},
 		{"stability", "Sustained-fill stability: throughput over time, tail traces, backlog vs admission control", Stability},
 		{"membalance", "Adaptive memory governor: skewed shard traffic, adaptive vs static split at equal total memory", MemBalance},
+		{"valuesize", "Key-value separation: WA and throughput vs value size, value log on/off at equal memory", ValueSize},
 		{"torture", "Crash torture: randomized power failures, torn writes, recovery invariants", CrashTorture},
 		{"extra-escan", "Bonus: workload E before vs after compactions settle (§5.2 claim)", ExtraScanSettle},
 		{"extra-novelsm", "Bonus: NoveLSM flat vs hierarchical vs NoSST (§3.1 claim)", ExtraNoveLSMVariants},

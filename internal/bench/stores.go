@@ -64,6 +64,11 @@ type Config struct {
 	// experiment uses it to compare bounded vs unbounded arms.
 	Admission *core.AdmissionOptions
 
+	// ValueLog enables MioDB's key-value separation (nil = value-inline;
+	// baselines ignore it). The valuesize experiment compares the two
+	// arms at equal memory across value sizes.
+	ValueLog *core.ValueLogOptions
+
 	// MemoryBudget is the sharded MioDB store's global memtable budget:
 	// each shard starts at MemoryBudget/Shards (overriding MemTableSize).
 	// 0 keeps the per-shard MemTableSize semantics.
@@ -137,6 +142,11 @@ func (c Config) disk() *vfs.Disk {
 // OpenStore builds the requested system.
 func OpenStore(c Config) (Store, error) {
 	c = c.withDefaults()
+	if c.ValueLog != nil && c.Kind != MioDB {
+		// Only MioDB implements kvstore.ValueLogger; refuse up front
+		// rather than silently benchmarking an arm that isn't there.
+		return nil, fmt.Errorf("bench: store kind %q does not support key-value separation (ValueLog)", c.Kind)
+	}
 	switch c.Kind {
 	case MioDB:
 		opts := core.Options{
@@ -151,6 +161,7 @@ func OpenStore(c Config) (Store, error) {
 			EpochReads:         c.EpochReads,
 			DisableWAL:         c.DisableWAL,
 			Admission:          c.Admission,
+			ValueLog:           c.ValueLog,
 		}
 		if c.DisableBloom {
 			opts.BloomBitsPerKey = -1

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"miodb/internal/core"
+)
+
+// TestValueSizeExperimentAndJSON runs the valuesize experiment with a
+// shrunken sweep and checks the report shape, the BENCH_valuesize.json
+// artifact, and the claim the experiment exists to demonstrate: at
+// large values the separated arm's write amplification is measurably
+// below the inline arm's.
+func TestValueSizeExperimentAndJSON(t *testing.T) {
+	oldSweep, oldReps := valueSizeSweep, valueSizeReps
+	valueSizeSweep = []int{128, 64 << 10}
+	valueSizeReps = 1
+	defer func() { valueSizeSweep, valueSizeReps = oldSweep, oldReps }()
+
+	dir := t.TempDir()
+	rep, err := ValueSize(Params{Scale: 0.05, Out: io.Discard, JSONDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.ID != "valuesize" {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_valuesize.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc JSONReport
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if doc.Bench != "valuesize" {
+		t.Fatalf("bench name = %q", doc.Bench)
+	}
+	// 2 sizes × 2 arms × (fill + read) = 8 cells.
+	if len(doc.Results) != 8 {
+		t.Fatalf("results = %d cells, want 8", len(doc.Results))
+	}
+	was := map[string]float64{}
+	for _, res := range doc.Results {
+		if res.KIOPS.Best <= 0 || res.Ops <= 0 {
+			t.Errorf("cell %s: no throughput recorded: %+v", res.Name, res)
+		}
+		if strings.HasPrefix(res.Name, "fill/") {
+			wa, ok := res.Extra["wa"]
+			if !ok || wa <= 0 {
+				t.Errorf("cell %s: missing write amplification: %v", res.Name, res.Extra)
+			}
+			was[res.Name] = wa
+		}
+	}
+	// The point of separation: at 64 KB values the vlog arm's WA must be
+	// measurably below the inline arm's.
+	inline, vl := was["fill/value=65536/arm=inline"], was["fill/value=65536/arm=vlog"]
+	if inline == 0 || vl == 0 {
+		t.Fatalf("missing 64K WA cells: %v", was)
+	}
+	if vl >= inline {
+		t.Errorf("64K values: vlog WA %.2f not below inline WA %.2f", vl, inline)
+	}
+	// And the vlog arm actually routed values through the log there.
+	var appends float64
+	for _, res := range doc.Results {
+		if res.Name == "fill/value=65536/arm=vlog" {
+			appends = res.Extra["vlog_appends"]
+		}
+	}
+	if appends == 0 {
+		t.Error("64K vlog arm recorded no value-log appends")
+	}
+}
+
+// TestOpenStoreRefusesValueLogOnBaselines pins the capability refusal:
+// only MioDB implements kvstore.ValueLogger, and asking a baseline for a
+// value log fails descriptively instead of silently running inline.
+func TestOpenStoreRefusesValueLogOnBaselines(t *testing.T) {
+	for _, kind := range []StoreKind{LevelDB, NoveLSM, MatrixKV} {
+		_, err := OpenStore(Config{Kind: kind, ValueLog: &core.ValueLogOptions{}})
+		if err == nil || !strings.Contains(err.Error(), "ValueLog") {
+			t.Errorf("%s: err = %v, want descriptive ValueLog refusal", kind, err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"miodb/internal/kvstore"
@@ -212,6 +213,39 @@ func (c *Conn) abandon(tag uint64) {
 	c.mu.Unlock()
 }
 
+// serverError maps a StatusError payload back onto the repository's
+// sentinel errors, so errors.Is(err, kvstore.ErrDegraded) (and friends)
+// holds on the client side exactly as it does in-process. The wire
+// carries only the error text, so the match is on the sentinel's
+// message — those strings are pinned in internal/kvstore precisely to
+// keep this round trip stable. Unrecognized payloads stay plain
+// "server: ..." errors.
+func serverError(payload []byte) error {
+	text := string(payload)
+	for _, sentinel := range []error{
+		kvstore.ErrDegraded,
+		kvstore.ErrSnapshotUnsupported,
+		kvstore.ErrValueLogCorrupt,
+		kvstore.ErrClosed,
+	} {
+		if strings.Contains(text, sentinel.Error()) {
+			return &wireError{text: "server: " + text, sentinel: sentinel}
+		}
+	}
+	return fmt.Errorf("server: %s", text)
+}
+
+// wireError carries the server's full error text (which may include
+// context beyond the sentinel, e.g. the degraded store's latched cause)
+// while unwrapping to the matched sentinel.
+type wireError struct {
+	text     string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.text }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
 // Get fetches the newest value for key; kvstore.ErrNotFound if absent.
 func (c *Conn) Get(key []byte) ([]byte, error) {
 	status, payload, err := c.do(server.OpGet, key, nil)
@@ -224,7 +258,7 @@ func (c *Conn) Get(key []byte) ([]byte, error) {
 	case server.StatusNotFound:
 		return nil, kvstore.ErrNotFound
 	default:
-		return nil, fmt.Errorf("server: %s", payload)
+		return nil, serverError(payload)
 	}
 }
 
@@ -255,7 +289,7 @@ func (c *Conn) Scan(start []byte, limit int) ([][2][]byte, error) {
 		return nil, err
 	}
 	if status != server.StatusOK {
-		return nil, fmt.Errorf("server: %s", payload)
+		return nil, serverError(payload)
 	}
 	return server.DecodeScanPayload(payload)
 }
@@ -288,7 +322,7 @@ func (c *Conn) mget(snapID uint64, keys [][]byte) ([][]byte, []error) {
 		return fail(err)
 	}
 	if status != server.StatusOK {
-		return fail(fmt.Errorf("server: %s", payload))
+		return fail(serverError(payload))
 	}
 	vs, es, err := server.DecodeMGetResponse(payload)
 	if err != nil {
@@ -326,7 +360,7 @@ func (c *Conn) Snapshot() (*Snap, error) {
 		return nil, err
 	}
 	if status != server.StatusOK {
-		return nil, fmt.Errorf("server: %s", payload)
+		return nil, serverError(payload)
 	}
 	if len(payload) != 8 {
 		return nil, fmt.Errorf("client: malformed snapshot id")
@@ -348,7 +382,7 @@ func (s *Snap) Get(key []byte) ([]byte, error) {
 	case server.StatusNotFound:
 		return nil, kvstore.ErrNotFound
 	default:
-		return nil, fmt.Errorf("server: %s", payload)
+		return nil, serverError(payload)
 	}
 }
 
@@ -374,7 +408,7 @@ func (c *Conn) Stats() (string, error) {
 		return "", err
 	}
 	if status != server.StatusOK {
-		return "", fmt.Errorf("server: %s", payload)
+		return "", serverError(payload)
 	}
 	return string(payload), nil
 }
@@ -384,7 +418,7 @@ func (c *Conn) expectOK(status byte, payload []byte, err error) error {
 		return err
 	}
 	if status != server.StatusOK {
-		return fmt.Errorf("server: %s", payload)
+		return serverError(payload)
 	}
 	return nil
 }

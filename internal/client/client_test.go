@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -225,5 +226,54 @@ func TestClosePropagates(t *testing.T) {
 	}
 	if _, err := c.Get([]byte("k")); err == nil {
 		t.Error("Get on closed conn succeeded")
+	}
+}
+
+// TestSentinelRoundTrip pins the error-mapping contract: a sentinel
+// error raised inside the store survives the wire as the same sentinel
+// on the client — errors.Is holds across the network boundary exactly
+// as it does in-process. The wire carries only text, so this works only
+// as long as the sentinel messages in internal/kvstore stay stable;
+// this test is the tripwire for anyone rewording them.
+func TestSentinelRoundTrip(t *testing.T) {
+	// Unit: payloads carrying extra context still map, and the full text
+	// is preserved for humans.
+	err := serverError([]byte(kvstore.ErrDegraded.Error() + ": simulated device fault"))
+	if !errors.Is(err, kvstore.ErrDegraded) {
+		t.Fatalf("degraded payload did not map: %v", err)
+	}
+	if !strings.Contains(err.Error(), "simulated device fault") {
+		t.Fatalf("mapped error lost the cause: %v", err)
+	}
+	if mapped := serverError([]byte(kvstore.ErrValueLogCorrupt.Error())); !errors.Is(mapped, kvstore.ErrValueLogCorrupt) {
+		t.Fatalf("vlog-corrupt payload did not map: %v", mapped)
+	}
+	if plain := serverError([]byte("something else entirely")); errors.Is(plain, kvstore.ErrDegraded) ||
+		errors.Is(plain, kvstore.ErrClosed) {
+		t.Fatalf("unrecognized payload mapped to a sentinel: %v", plain)
+	}
+
+	// End to end: an SSD-mode store refuses snapshots server-side; the
+	// client must surface the same sentinel the in-process API returns.
+	db, err2 := core.Open(core.Options{SSD: &core.SSDOptions{}, MemTableSize: 8 << 10, Levels: 3})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	srv := server.NewWithOptions(miodbStore{db}, server.Options{})
+	addr, err2 := srv.Listen("127.0.0.1:0")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	c, err2 := Dial(addr.String(), Options{})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	defer c.Close()
+	if _, snapErr := c.Snapshot(); !errors.Is(snapErr, kvstore.ErrSnapshotUnsupported) {
+		t.Fatalf("Snapshot on SSD store over the wire = %v, want ErrSnapshotUnsupported", snapErr)
 	}
 }

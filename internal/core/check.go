@@ -156,6 +156,11 @@ func (db *DB) liveRegionsLocked() (map[uint32]bool, error) {
 	if v.repo != nil {
 		live[v.repo.Region().Index()] = true
 	}
+	if db.vlog != nil {
+		for _, r := range db.vlog.Regions() {
+			live[r.Index()] = true
+		}
+	}
 	return live, nil
 }
 

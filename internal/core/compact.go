@@ -148,6 +148,9 @@ func (db *DB) mergeOnce(level int) error {
 		}
 		return coveredAt(v.rangeDels, key, seq, db.snapshotHorizon())
 	}
+	if db.vlog != nil {
+		m.OnDrop = db.onEntryDrop
+	}
 	m.SetPersistSlot(db.manifest.region(), db.markSlots[level])
 	// Clear any mark a previous merge of this level left behind before
 	// the pairing becomes durable: a crash between the mergeStart record
@@ -265,6 +268,9 @@ func (db *DB) mergeOnce(level int) error {
 	db.mu.Unlock()
 
 	db.st.AddCompaction(time.Since(start))
+	// Dropped pointer entries may have pushed a segment past the GC
+	// threshold.
+	db.kickValueLogGC()
 	return nil
 }
 
@@ -356,6 +362,9 @@ func (db *DB) lazyOne(last int, t *pmtable.Table) error {
 			},
 			Drop: func(newerSeq uint64) bool { return newerSeq <= db.snapshotHorizon() },
 		}
+		if db.vlog != nil {
+			policy.OnDrop = db.onEntryDrop
+		}
 		if err := db.runDeviceOp(func() error {
 			if out := db.nvm.CheckWrite(64); out.Err != nil {
 				return out.Err
@@ -416,6 +425,7 @@ func (db *DB) lazyOne(last int, t *pmtable.Table) error {
 		return err
 	}
 	db.st.AddCompaction(time.Since(start))
+	db.kickValueLogGC()
 	return nil
 }
 
@@ -457,9 +467,13 @@ func (db *DB) maybeCompactRepo() error {
 	// Gate before rebuilding (retry-safe); the rebuild itself runs at
 	// most once so a transient fault cannot leak half-built arenas.
 	var fresh *pmtable.Repository
+	var onDrop func(value []byte, kind keys.Kind)
+	if db.vlog != nil {
+		onDrop = db.onEntryDrop
+	}
 	err := db.gateNVMWrite(64)
 	if err == nil {
-		fresh, err = repo.CompactedWith(db.opts.ChunkSize, dead)
+		fresh, err = repo.CompactedWith(db.opts.ChunkSize, dead, onDrop)
 	}
 	if err != nil {
 		// Clear the latch on the failure path too: leaving it set would

@@ -18,6 +18,7 @@ import (
 	"miodb/internal/stats"
 	"miodb/internal/vaddr"
 	"miodb/internal/vfs"
+	"miodb/internal/vlog"
 	"miodb/internal/wal"
 )
 
@@ -41,6 +42,17 @@ type DB struct {
 	repo  *pmtable.Repository
 	st    *stats.Recorder
 	fp    pmtable.FilterParams
+
+	// vlog is the value log behind key-value separation (nil when
+	// Options.ValueLog is nil — the byte-for-byte inline engine). The GC
+	// loop wakes on vlogKick (non-blocking sends from compaction drops
+	// and segment seals) and exits when vlogStop closes; stopVlog latches
+	// the close exactly once across Close and CrashForTest.
+	vlog     *vlog.Store
+	vlogDisk *vfs.Disk // SSD-offload backing (OnSSD); nil otherwise
+	vlogStop chan struct{}
+	vlogKick chan struct{}
+	stopVlog sync.Once
 
 	// Group commit (LevelDB/RocksDB-style writer queue): concurrent
 	// callers of Put/Delete/Write enqueue a groupWriter under writeMu and
@@ -226,6 +238,10 @@ func Open(opts Options) (*DB, error) {
 		db.repo = repo
 	}
 
+	if opts.ValueLog != nil {
+		db.initValueLog()
+	}
+
 	mem, err := db.newMemHandle()
 	if err != nil {
 		return nil, err
@@ -286,6 +302,30 @@ func (db *DB) startBackground() {
 	}
 	db.wg.Add(1)
 	go db.lazyLoop()
+	if db.vlog != nil {
+		db.wg.Add(1)
+		go db.vlogGCLoop()
+	}
+}
+
+// initValueLog builds the value-log store and its GC plumbing. The
+// manifest must already exist: every new segment is announced through a
+// manifest record before the first pointer into it can commit.
+func (db *DB) initValueLog() {
+	vc := db.opts.ValueLog
+	cfg := vlog.Config{SegmentSize: vc.SegmentSize, GCDeadRatio: vc.GCDeadRatio}
+	if vc.OnSSD {
+		disk := vfs.NewDisk(vfs.SSDProfile())
+		disk.SetSimulation(db.opts.Simulate)
+		disk.SetTimeScale(db.opts.TimeScale)
+		db.vlogDisk = disk
+		db.vlog = vlog.NewSSD(disk, cfg)
+	} else {
+		db.vlog = vlog.NewNVM(db.nvm, cfg)
+	}
+	db.vlog.OnNewSegment = db.logVlogSegment
+	db.vlogStop = make(chan struct{})
+	db.vlogKick = make(chan struct{}, 1)
 }
 
 // Put writes a key-value pair.
@@ -482,6 +522,28 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	}
 	firstSeq := db.seq.Load() + 1
 
+	// Flatten the group once. With key-value separation on, large values
+	// are appended to the value log here — value bytes before pointer, so
+	// the WAL record that commits a pointer is durable strictly after the
+	// bytes it references — and the flat ops carry 16-byte addresses.
+	flat := make([]batchOp, 0, nops)
+	for _, f := range group {
+		flat = append(flat, f.ops...)
+	}
+	var sepBytes int64
+	if db.vlog != nil {
+		var err error
+		flat, sepBytes, err = db.separateOps(flat, firstSeq)
+		if err != nil {
+			// Separated values may sit in the log unreferenced (dead space
+			// GC reclaims later); burn the sequence range so the seqs
+			// stamped into those entries are never reused by an acked
+			// commit.
+			db.seq.Store(firstSeq + uint64(nops) - 1)
+			return err
+		}
+	}
+
 	// Log the whole group first with one coalesced append: a crash during
 	// insertion replays every record from the WAL (all-or-prefix per
 	// group), and the NVM device is charged one sequential write instead
@@ -489,11 +551,9 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	if mem.log != nil {
 		recs := make([]wal.Record, 0, nops)
 		seq := firstSeq
-		for _, f := range group {
-			for _, op := range f.ops {
-				recs = append(recs, wal.Record{Key: op.key, Value: op.value, Seq: seq, Kind: op.kind})
-				seq++
-			}
+		for _, op := range flat {
+			recs = append(recs, wal.Record{Key: op.key, Value: op.value, Seq: seq, Kind: op.kind})
+			seq++
 		}
 		if err := mem.log.AppendBatch(recs); err != nil {
 			// A prefix of the group may be durably logged (all-or-prefix
@@ -517,44 +577,42 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	seq := firstSeq
 	var userBytes int64
 	var puts, deletes int64
-	for _, f := range group {
-		for _, op := range f.ops {
-			if op.kind == keys.KindRangeDelete {
-				// Logged like any record, but never inserted into the skip
-				// list: the tombstone lands in the version side table (and
-				// on the handle, for the flush-time durability handoff).
-				db.registerRangeTombstone(mem, rangeTombstone{
-					start: append([]byte(nil), op.key...),
-					end:   append([]byte(nil), op.value...),
-					seq:   seq,
-				})
-				deletes++
-				seq++
-				continue
-			}
-			if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
-				// Every record is already durably logged: burn the whole
-				// range and keep the memtable's seq window covering what
-				// did land.
-				db.seq.Store(firstSeq + uint64(nops) - 1)
-				if seq > firstSeq {
-					if mem.minSeq == 0 {
-						mem.minSeq = firstSeq
-					}
-					if seq-1 > mem.maxSeq {
-						mem.maxSeq = seq - 1
-					}
-				}
-				return err
-			}
-			userBytes += int64(len(op.key) + len(op.value))
-			if op.kind == keys.KindDelete {
-				deletes++
-			} else {
-				puts++
-			}
+	for _, op := range flat {
+		if op.kind == keys.KindRangeDelete {
+			// Logged like any record, but never inserted into the skip
+			// list: the tombstone lands in the version side table (and
+			// on the handle, for the flush-time durability handoff).
+			db.registerRangeTombstone(mem, rangeTombstone{
+				start: append([]byte(nil), op.key...),
+				end:   append([]byte(nil), op.value...),
+				seq:   seq,
+			})
+			deletes++
 			seq++
+			continue
 		}
+		if err := mem.mt.Add(op.key, op.value, seq, op.kind); err != nil {
+			// Every record is already durably logged: burn the whole
+			// range and keep the memtable's seq window covering what
+			// did land.
+			db.seq.Store(firstSeq + uint64(nops) - 1)
+			if seq > firstSeq {
+				if mem.minSeq == 0 {
+					mem.minSeq = firstSeq
+				}
+				if seq-1 > mem.maxSeq {
+					mem.maxSeq = seq - 1
+				}
+			}
+			return err
+		}
+		userBytes += int64(len(op.key) + len(op.value))
+		if op.kind == keys.KindDelete {
+			deletes++
+		} else {
+			puts++
+		}
+		seq++
 	}
 	lastSeq := firstSeq + uint64(nops) - 1
 	db.seq.Store(lastSeq)
@@ -563,7 +621,10 @@ func (db *DB) commitGroup(group []*groupWriter) error {
 	}
 	mem.maxSeq = lastSeq
 
-	db.st.AddUserBytes(userBytes)
+	// sepBytes restores the user-byte count of separated values (the flat
+	// ops only carry their 16-byte pointers) so write amplification keeps
+	// dividing by what the client actually wrote.
+	db.st.AddUserBytes(userBytes + sepBytes)
 	db.st.CountPuts(puts)
 	db.st.CountDeletes(deletes)
 	db.st.AddWriteGroup(nops)
@@ -591,6 +652,18 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	mem := db.current.Load().mem
 
 	firstSeq := db.seq.Load() + 1
+	nops := len(ops)
+	var sepBytes int64
+	if db.vlog != nil {
+		var err error
+		ops, sepBytes, err = db.separateOps(ops, firstSeq)
+		if err != nil {
+			// Burn the range: seqs stamped into orphaned log entries must
+			// never be reused by an acked commit (see commitGroup).
+			db.seq.Store(firstSeq + uint64(nops) - 1)
+			return err
+		}
+	}
 	seq := firstSeq
 	var userBytes int64
 	var puts, deletes int64
@@ -650,10 +723,44 @@ func (db *DB) commitSerial(ops []batchOp) error {
 	}
 	mem.maxSeq = lastSeq
 
-	db.st.AddUserBytes(userBytes)
+	db.st.AddUserBytes(userBytes + sepBytes)
 	db.st.CountPuts(puts)
 	db.st.CountDeletes(deletes)
 	return nil
+}
+
+// separateOps implements the key-value split on a committing op slice:
+// every KindSet whose value is at or above the threshold has its bytes
+// appended to the value log (stamped with the sequence number it will
+// commit under) and is rewritten into a KindValuePtr op carrying the
+// 16-byte address. The input slice is never mutated — a rewrite works on
+// a fresh copy — so callers may share or reuse their slices. The second
+// result is the separated user-byte delta (original value length minus
+// pointer length, summed), which the caller folds back into the
+// user-byte accounting.
+func (db *DB) separateOps(ops []batchOp, firstSeq uint64) ([]batchOp, int64, error) {
+	threshold := db.opts.ValueLog.Threshold
+	out := ops
+	copied := false
+	var sepBytes int64
+	seq := firstSeq
+	for i := range ops {
+		op := ops[i]
+		if op.kind == keys.KindSet && len(op.value) >= threshold {
+			addr, err := db.vlog.Append(op.key, op.value, seq)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !copied {
+				out = append([]batchOp(nil), ops...)
+				copied = true
+			}
+			out[i] = batchOp{key: op.key, value: addr.Encode(nil), kind: keys.KindValuePtr}
+			sepBytes += int64(len(op.value) - vlog.AddrSize)
+		}
+		seq++
+	}
+	return out, sepBytes, nil
 }
 
 // registerRangeTombstone publishes a committed range tombstone: into the
@@ -770,7 +877,7 @@ func (db *DB) getFrom(v *version, key []byte, bound uint64) ([]byte, error) {
 		if len(dels) > 0 && covered(dels, key, seq) {
 			return nil, ErrNotFound
 		}
-		return finishGet(value, kind)
+		return db.finishGet(value, kind)
 	}
 	memGet := func(mt *memtable.MemTable) ([]byte, uint64, keys.Kind, bool) {
 		if live {
@@ -896,12 +1003,32 @@ func (db *DB) GetMulti(getKeys [][]byte) ([][]byte, []error) {
 	return values, errs
 }
 
-func finishGet(value []byte, kind keys.Kind) ([]byte, error) {
+func (db *DB) finishGet(value []byte, kind keys.Kind) ([]byte, error) {
 	if kind == keys.KindDelete {
 		return nil, ErrNotFound
 	}
+	if kind == keys.KindValuePtr {
+		return db.resolveValue(value)
+	}
 	// Copy out of arena memory: the caller may hold the value past the
 	// arena's lifetime.
+	return append([]byte(nil), value...), nil
+}
+
+// resolveValue dereferences a value-log pointer entry and returns a copy
+// of the value bytes. The caller holds a version pin covering the entry,
+// so the segment the pointer names cannot have been reclaimed (GC defers
+// frees onto the version chain); a failure here is therefore corruption,
+// surfaced as vlog.ErrCorrupt.
+func (db *DB) resolveValue(ptr []byte) ([]byte, error) {
+	a, ok := vlog.DecodeAddr(ptr)
+	if !ok || db.vlog == nil {
+		return nil, fmt.Errorf("%w: undecodable pointer entry", vlog.ErrCorrupt)
+	}
+	_, value, _, err := db.vlog.Read(a)
+	if err != nil {
+		return nil, err
+	}
 	return append([]byte(nil), value...), nil
 }
 
@@ -992,8 +1119,21 @@ func (it *Iterator) Valid() bool { return it.it.Valid() }
 // Key returns the current key (valid until Next/Close).
 func (it *Iterator) Key() []byte { return it.it.Key() }
 
-// Value returns the current value (valid until Next/Close).
-func (it *Iterator) Value() []byte { return it.it.Value() }
+// Value returns the current value (valid until Next/Close). A pointer
+// entry is resolved through the value log transparently; a resolution
+// failure (corruption) parks in Err and yields nil.
+func (it *Iterator) Value() []byte {
+	v := it.it.Value()
+	if it.db != nil && it.db.vlog != nil && it.it.Kind() == keys.KindValuePtr {
+		resolved, err := it.db.resolveValue(v)
+		if err != nil {
+			it.err = err
+			return nil
+		}
+		return resolved
+	}
+	return v
+}
 
 // Err returns the iterator's sticky error (ErrClosed when the iterator
 // was opened against a closed store).
@@ -1037,7 +1177,9 @@ func (db *DB) Scan(start []byte, limit int, fn func(key, value []byte) bool) err
 	// One sample per scan, covering the whole range (snapshot pin through
 	// last key) — the latency a server-side SCAN request experiences.
 	db.st.RecordOp(stats.OpScan, time.Since(t0))
-	return nil
+	// A mid-scan failure (a pointer entry that would not resolve) parks
+	// itself on the iterator; surface it.
+	return it.err
 }
 
 // WaitIdle blocks until all queued flushes, zero-copy merges, and
@@ -1140,6 +1282,7 @@ func (db *DB) Close() error {
 	db.closedFlag.Store(true)
 	db.cond.Broadcast()
 	db.mu.Unlock()
+	db.stopValueLogGC()
 	db.wg.Wait()
 	db.waitReadersDrained()
 	if db.ssd != nil {
@@ -1162,6 +1305,10 @@ func (db *DB) Stats() stats.Snapshot {
 		dc := db.ssd.Options().Disk.Counters()
 		persistent = append(persistent, stats.DeviceCounters{Name: dc.Name, BytesRead: dc.BytesRead, BytesWritten: dc.BytesWritten})
 	}
+	if db.vlogDisk != nil {
+		dc := db.vlogDisk.Counters()
+		persistent = append(persistent, stats.DeviceCounters{Name: "vlog-" + dc.Name, BytesRead: dc.BytesRead, BytesWritten: dc.BytesWritten})
+	}
 	s.AttachDevices(persistent...)
 	s.Devices = append(devs, s.Devices...)
 	levels := make([]stats.BloomLevelCounters, len(db.readLevels))
@@ -1179,6 +1326,21 @@ func (db *DB) Stats() stats.Snapshot {
 	s.AttachReadPath(levels, live, pending, epoch)
 	db.attachBacklog(&s)
 	s.AttachMemory(db.memTarget.Load(), db.current.Load().mem.mt.ApproximateBytes())
+	if db.vlog != nil {
+		c := db.vlog.Counters()
+		s.AttachValueLog(stats.ValueLogCounters{
+			Enabled:             true,
+			Segments:            c.Segments,
+			SegmentBytes:        c.SegmentBytes,
+			LiveBytes:           c.LiveBytes,
+			Appends:             c.Appends,
+			AppendedBytes:       c.AppendedBytes,
+			GCRelocations:       c.GCRelocations,
+			GCRelocatedBytes:    c.GCRelocatedBytes,
+			GCSegmentsReclaimed: c.GCSegmentsReclaimed,
+			GCReclaimedBytes:    c.GCReclaimedBytes,
+		})
+	}
 	return s
 }
 
@@ -1188,6 +1350,9 @@ func (db *DB) ResetCounters() {
 	db.nvm.ResetCounters()
 	if db.ssd != nil {
 		db.ssd.Options().Disk.ResetCounters()
+	}
+	if db.vlogDisk != nil {
+		db.vlogDisk.ResetCounters()
 	}
 	// Atomic field-wise reset: background flush/compaction goroutines may
 	// be updating the recorder concurrently, so a struct copy would race.

@@ -14,17 +14,18 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
+	"miodb/internal/kvstore"
 	"miodb/internal/nvm"
 )
 
 // ErrDegraded wraps the sticky background error: the store is read-only
 // because a background I/O path failed persistently. Inspect DB.Err()
-// for the root cause.
-var ErrDegraded = errors.New("miodb: store degraded to read-only after background error")
+// for the root cause. The sentinel lives in kvstore so the network
+// client can map wire errors back onto the same identity.
+var ErrDegraded = kvstore.ErrDegraded
 
 // Err returns the store's sticky background error, or nil while the
 // store is healthy. Once non-nil it never clears: writes fail with this

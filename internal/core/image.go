@@ -107,6 +107,11 @@ func (db *DB) Checkpoint(path string) error {
 // embedding the image in a larger file (the shard router's multi-shard
 // images) own that. The store keeps running afterwards.
 func (db *DB) CheckpointTo(w io.Writer) error {
+	if db.vlog != nil && db.vlog.OnSSD() {
+		// SSD segment files are outside the NVM image; a restored store
+		// could not resolve their pointers.
+		return fmt.Errorf("miodb: checkpoint does not cover an SSD-resident value log")
+	}
 	// Force the volatile buffer out so the image is self-contained even
 	// without WAL replay, then drain background work so no compaction is
 	// mid-flight (the image would still recover via the insertion marks,

@@ -272,6 +272,46 @@ type manifestState struct {
 	// the very end of the snapshot body so a state written before range
 	// deletes existed (no trailing bytes) still decodes.
 	rangeDels []rangeTombstone
+
+	// Value-log state: installed NVM segments and the next segment id.
+	// Encoded as a second trailing section after the tombstones, with the
+	// same backward-compatibility rule (absent in older states). SSD
+	// segments are not crash-recoverable and never appear here.
+	vlogSegs []vlogSegState
+	vlogNext uint32
+}
+
+// vlogSegState is the persisted identity of one NVM value-log segment.
+type vlogSegState struct {
+	id     uint32
+	region uint32
+}
+
+func encodeVlogState(e *encoder, next uint32, segs []vlogSegState) {
+	e.u32(next)
+	e.u32(uint32(len(segs)))
+	for _, g := range segs {
+		e.u32(g.id)
+		e.u32(g.region)
+	}
+}
+
+func decodeVlogState(d *decoder) (next uint32, segs []vlogSegState) {
+	next = d.u32()
+	n := d.u32()
+	if d.err == nil && n > 1<<24 {
+		d.err = fmt.Errorf("manifest: absurd vlog segment count %d", n)
+		return 0, nil
+	}
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		var g vlogSegState
+		g.id = d.u32()
+		g.region = d.u32()
+		if d.err == nil {
+			segs = append(segs, g)
+		}
+	}
+	return next, segs
 }
 
 // encodeRangeDels appends a tombstone section: count, then per tombstone
@@ -374,6 +414,9 @@ func (s *manifestState) encode() []byte {
 	// Trailing section: range tombstones (absent in pre-range-delete
 	// states — the decoder treats end-of-payload here as empty).
 	encodeRangeDels(&e, s.rangeDels)
+	// Second trailing section: value-log segments (absent in pre-vlog
+	// states — same end-of-payload rule).
+	encodeVlogState(&e, s.vlogNext, s.vlogSegs)
 	return e.buf.Bytes()
 }
 
@@ -423,6 +466,9 @@ func decodeManifestState(payload []byte) (*manifestState, error) {
 	if d.err == nil && len(d.b) > 0 {
 		s.rangeDels = decodeRangeDels(d)
 	}
+	if d.err == nil && len(d.b) > 0 {
+		s.vlogNext, s.vlogSegs = decodeVlogState(d)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
@@ -443,6 +489,8 @@ const (
 	recLazyDone   = 5
 	recRepoSwap   = 6
 	recRangeDrop  = 7
+	recVlogSeg    = 8
+	recVlogFree   = 9
 
 	snapshotEvery = 64
 )
@@ -514,6 +562,34 @@ func (db *DB) logFlushDoneLocked(ts tableState, walRegion uint32, hadWal bool, r
 func (db *DB) logRangeDropLocked(seq uint64) error {
 	return db.appendManifestLocked(recRangeDrop, func(e *encoder) {
 		e.u64(seq)
+	})
+}
+
+// logVlogSegment records a freshly created NVM value-log segment before
+// any pointer naming it can reach the WAL. It is the vlog.Store's
+// OnNewSegment callback: invoked from vlog.Append under commitMu but
+// outside both the vlog's own mutex and db.mu (lock order
+// commitMu → mu). SSD segments (name != "") are not crash-recoverable
+// and are not logged.
+func (db *DB) logVlogSegment(id uint32, regionIdx uint32, name string) error {
+	if name != "" {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.appendManifestLocked(recVlogSeg, func(e *encoder) {
+		e.u32(id)
+		e.u32(regionIdx)
+	})
+}
+
+// logVlogFreeLocked records that a value-log segment has been fully
+// relocated and reclaimed. Callers hold db.mu. Replay order guarantees
+// safety: every relocation's WAL pointer record precedes this record, so
+// the recovered LSM never holds a live pointer into the freed segment.
+func (db *DB) logVlogFreeLocked(id uint32) error {
+	return db.appendManifestLocked(recVlogFree, func(e *encoder) {
+		e.u32(id)
 	})
 }
 
@@ -679,6 +755,38 @@ func (s *manifestState) applyDelta(kind uint8, d *decoder) error {
 			return d.err
 		}
 		s.rangeDels = dropRangeDel(s.rangeDels, seq)
+	case recVlogSeg:
+		id, region := d.u32(), d.u32()
+		if d.err != nil {
+			return d.err
+		}
+		// Dedupe: a snapshot rolled between the segment's install and this
+		// delta can already carry it.
+		dup := false
+		for _, g := range s.vlogSegs {
+			if g.id == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.vlogSegs = append(s.vlogSegs, vlogSegState{id: id, region: region})
+		}
+		if id >= s.vlogNext {
+			s.vlogNext = id + 1
+		}
+	case recVlogFree:
+		id := d.u32()
+		if d.err != nil {
+			return d.err
+		}
+		rest := s.vlogSegs[:0:0]
+		for _, g := range s.vlogSegs {
+			if g.id != id {
+				rest = append(rest, g)
+			}
+		}
+		s.vlogSegs = rest
 	default:
 		return fmt.Errorf("manifest: unknown record kind %d", kind)
 	}
@@ -779,6 +887,13 @@ func (db *DB) trySnapshotLocked() (bool, error) {
 		s.levels = append(s.levels, lvl)
 	}
 	s.rangeDels = v.rangeDels
+	if db.vlog != nil {
+		next, refs := db.vlog.SnapshotState()
+		s.vlogNext = next
+		for _, r := range refs {
+			s.vlogSegs = append(s.vlogSegs, vlogSegState{id: r.ID, region: r.Region})
+		}
+	}
 	payload := append([]byte{recSnapshot}, s.encode()...)
 	if len(payload)+8 > db.manifest.region().ChunkSize() {
 		return false, nil

@@ -65,6 +65,13 @@ type Options struct {
 	// replaced by leveled SSTables on a simulated SSD.
 	SSD *SSDOptions
 
+	// ValueLog enables key-value separation (DESIGN.md §14): values at or
+	// above the threshold are appended to a segmented value log and the
+	// LSM structure stores 16-byte addresses in their place, so flushes
+	// and compactions move pointers instead of value bytes. nil keeps the
+	// engine byte-for-byte value-inline.
+	ValueLog *ValueLogOptions
+
 	// Admission enables backlog-aware write admission control; nil (the
 	// default) keeps the paper's stall-free behavior: makeRoomForWrite
 	// rotates into the immutable queue without bound and a burst trades a
@@ -79,6 +86,24 @@ type Options struct {
 	Simulate bool
 	// TimeScale scales injected latencies (1.0 = full model).
 	TimeScale float64
+}
+
+// ValueLogOptions configures key-value separation.
+type ValueLogOptions struct {
+	// Threshold is the minimum value size (bytes) separated into the log;
+	// smaller values stay inline. Default 1 KiB.
+	Threshold int
+	// SegmentSize is the soft capacity of one log segment (an oversized
+	// value gets a dedicated segment). Default 4× MemTableSize.
+	SegmentSize int
+	// GCDeadRatio is the dead-space fraction at which a sealed segment is
+	// garbage-collected (live values relocated, segment reclaimed).
+	// Default 0.5.
+	GCDeadRatio float64
+	// OnSSD places segments on the simulated SSD tier instead of NVM —
+	// the large-value offload arm. Checkpoint images and crash recovery
+	// do not cover SSD-resident segments.
+	OnSSD bool
 }
 
 // SSDOptions configures the SSD tier.
@@ -143,6 +168,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TimeScale == 0 {
 		o.TimeScale = 1
+	}
+	if o.ValueLog != nil {
+		// Clone: defaulting must never mutate a literal shared across shards.
+		vc := *o.ValueLog
+		if vc.Threshold <= 0 {
+			vc.Threshold = 1 << 10
+		}
+		if vc.SegmentSize <= 0 {
+			vc.SegmentSize = int(o.MemTableSize) * 4
+		}
+		if vc.GCDeadRatio <= 0 {
+			vc.GCDeadRatio = 0.5
+		}
+		o.ValueLog = &vc
 	}
 	if o.Admission != nil {
 		// Clone so defaulting never mutates a literal the caller may share

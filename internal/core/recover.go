@@ -40,6 +40,7 @@ func (db *DB) CrashForTest() *CrashImage {
 	db.abandon = true
 	db.cond.Broadcast()
 	db.mu.Unlock()
+	db.stopValueLogGC()
 	db.wg.Wait()
 	if db.ssd != nil {
 		db.ssd.Close()
@@ -61,6 +62,9 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if opts.SSD != nil {
 		return nil, fmt.Errorf("miodb: SSD-mode crash recovery is not supported")
+	}
+	if opts.ValueLog != nil && opts.ValueLog.OnSSD {
+		return nil, fmt.Errorf("miodb: SSD-resident value log is not crash-recoverable")
 	}
 	superRegion := img.Space.Region(0)
 	if superRegion == nil {
@@ -112,6 +116,27 @@ func Recover(img *CrashImage, opts Options) (*DB, error) {
 	db.markSlots = make([]vaddr.Addr, len(state.markSlots))
 	for i, s := range state.markSlots {
 		db.markSlots[i] = vaddr.Addr(s)
+	}
+
+	// Value log: re-attach every recorded segment BEFORE WAL replay — the
+	// logs hold pointer records (replay never re-separates values), and a
+	// read served right after recovery must be able to resolve them.
+	// Attached segments are sealed; fresh appends open new segments with
+	// ids at or above the persisted counter, so reclaimed ids never recur.
+	if opts.ValueLog == nil && len(state.vlogSegs) > 0 {
+		return nil, fmt.Errorf("miodb: crash image has %d value-log segments, options disable the value log",
+			len(state.vlogSegs))
+	}
+	if opts.ValueLog != nil {
+		db.initValueLog()
+		for _, g := range state.vlogSegs {
+			r := img.Space.Region(g.region)
+			if r == nil {
+				return nil, fmt.Errorf("miodb: value-log segment %d region %d missing", g.id, g.region)
+			}
+			db.vlog.Attach(g.id, r)
+		}
+		db.vlog.SetNextID(state.vlogNext)
 	}
 
 	// Every NVM resource this attempt allocates is tracked so a failed

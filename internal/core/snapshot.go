@@ -16,8 +16,10 @@ var ErrSnapshotClosed = errors.New("miodb: snapshot closed")
 
 // ErrSnapshotUnsupported is returned by Snapshot on SSD-mode stores: the
 // on-SSD compactor rewrites tables in place with no version pinning, so a
-// long-lived consistent view cannot be guaranteed there.
-var ErrSnapshotUnsupported = errors.New("miodb: snapshots are not supported on SSD-mode stores")
+// long-lived consistent view cannot be guaranteed there. The sentinel
+// lives in kvstore so the network client can map wire errors back onto
+// the same identity.
+var ErrSnapshotUnsupported = kvstore.ErrSnapshotUnsupported
 
 // Snapshot is a long-lived consistent read-only view of the store: every
 // read sees exactly the entries committed at capture time, forever, no
@@ -294,5 +296,5 @@ func (s *Snapshot) Scan(start []byte, limit int, fn func(key, value []byte) bool
 		n++
 	}
 	s.db.st.RecordOp(stats.OpScan, time.Since(t0))
-	return nil
+	return it.err
 }

@@ -24,6 +24,14 @@ type TortureConfig struct {
 	// cycle pushes data through flushes, zero-copy merges, and lazy
 	// copies before it crashes.
 	Opts *Options
+	// ValueLog tortures key-value separation: the store runs with a
+	// low separation threshold (unless Opts supplies its own ValueLog
+	// configuration), the workload pads values to straddle it, value-log
+	// GC runs both mid-workload (racing the armed crash plans) and
+	// immediately after every recovery, and the per-cycle verification
+	// sweep re-reads every key through whatever relocations GC performed
+	// — a pointer resolving into a reclaimed segment fails the run.
+	ValueLog bool
 	// Log, when non-nil, receives one progress line per cycle.
 	Log io.Writer
 }
@@ -58,14 +66,24 @@ type TortureReport struct {
 	// simulated power failure (the expected outcome of a persistent
 	// injected fault).
 	Degraded int
+	// Value-log activity (ValueLog mode only), summed across cycles from
+	// each store lifetime's counters just before its crash: values that
+	// went through the log, live entries GC re-committed, and segments
+	// reclaimed.
+	VlogAppends, VlogRelocations, VlogReclaimed int64
 }
 
 func (r *TortureReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"torture: %d cycles, %d acked / %d uncertain ops (%d resurrected), "+
 			"%d lookups verified, crashes clean/byte/op %d/%d/%d, %d double, %d degraded",
 		r.Cycles, r.OpsAcked, r.OpsUncertain, r.Resurrected, r.KeysChecked,
 		r.CleanCrashes, r.ByteCrashes, r.OpCrashes, r.DoubleCrashes, r.Degraded)
+	if r.VlogAppends > 0 {
+		s += fmt.Sprintf(", vlog %d appends / %d relocated / %d segs reclaimed",
+			r.VlogAppends, r.VlogRelocations, r.VlogReclaimed)
+	}
+	return s
 }
 
 // tortureOpts is the default structural configuration: tiny memtables so
@@ -117,6 +135,13 @@ func (p pendingOp) covers(k string) bool {
 // quarter of recoveries are themselves interrupted by a second injected
 // crash and retried from the same image — exercising the recovery path's
 // own crash consistency.
+//
+// With cfg.ValueLog set the same invariants additionally cover key-value
+// separation: values straddle the threshold, GC runs against armed crash
+// plans and right after recovery, and every post-recovery lookup goes
+// through pointer resolution — so "no pointer ever resolves into a
+// reclaimed or torn segment" is checked by the same sweep, and
+// CheckRegionAccounting's leak audit extends to value-log segments.
 func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 	if cfg.Cycles <= 0 {
 		cfg.Cycles = 50
@@ -127,6 +152,11 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 	opts := tortureOpts()
 	if cfg.Opts != nil {
 		opts = *cfg.Opts
+	}
+	if cfg.ValueLog && opts.ValueLog == nil {
+		// Low threshold so the padded workload splits between inline and
+		// logged values; small segments so GC has many candidates.
+		opts.ValueLog = &ValueLogOptions{Threshold: 128, SegmentSize: 8 << 10}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &TortureReport{}
@@ -201,6 +231,13 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 				err = db.Delete([]byte(k))
 			} else {
 				v = fmt.Sprintf("v-%s-c%d-o%d-%0*d", k, cycle, op, rng.Intn(90), 0)
+				if cfg.ValueLog {
+					// Pad to straddle the separation threshold: roughly half
+					// the values route through the value log, half stay
+					// inline, and the boundary sizes hit both sides of the
+					// threshold comparison.
+					v = fmt.Sprintf("%s%0*d", v, 1+rng.Intn(400), 0)
+				}
 				err = db.Put([]byte(k), []byte(v))
 			}
 			if err != nil {
@@ -220,6 +257,16 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 			rep.OpsAcked++
 			seqFloor = db.LastSeq()
 
+			// Occasionally force a full GC pass mid-workload, racing the
+			// cycle's armed crash plan: relocations go through the same
+			// faulted device as client writes, so they may fail (or latch
+			// the store degraded) — but never with no fault armed.
+			if cfg.ValueLog && rng.Intn(60) == 0 {
+				if _, gcErr := db.RunValueLogGC(); gcErr != nil && dev.Faults() == nil && db.Err() == nil {
+					return nil, fmt.Errorf("cycle %d op %d: vlog GC failed with no fault armed: %w", cycle, op, gcErr)
+				}
+			}
+
 			// Occasional live read-back: before any crash, acked state
 			// must read back exactly.
 			if rng.Intn(24) == 0 {
@@ -231,6 +278,15 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 		}
 		if db.Err() != nil {
 			rep.Degraded++
+		}
+
+		// This store lifetime's value-log activity, summed before its
+		// counters die with the crash.
+		if cfg.ValueLog {
+			c := db.ValueLogCounters()
+			rep.VlogAppends += c.Appends
+			rep.VlogRelocations += c.GCRelocations
+			rep.VlogReclaimed += c.GCSegmentsReclaimed
 		}
 
 		// Power failure, then recovery — sometimes interrupted by a
@@ -269,6 +325,15 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 			}
 			rep.DoubleCrashes++
 			db.WaitIdle()
+		}
+
+		// GC immediately after recovery: reclamation must be safe against
+		// the just-replayed state, and the verification sweep below then
+		// re-reads every key through whatever relocations it performed.
+		if cfg.ValueLog {
+			if _, gcErr := db.RunValueLogGC(); gcErr != nil && db.Err() == nil {
+				return nil, fmt.Errorf("cycle %d: post-recovery vlog GC: %w", cycle, gcErr)
+			}
 		}
 
 		// Verify: sequence floor, every key's value, structure, regions.
@@ -326,6 +391,12 @@ func RunTorture(cfg TortureConfig) (*TortureReport, error) {
 			fmt.Fprintf(cfg.Log, "torture cycle %3d: %d keys live, %d acked ops, seq %d\n",
 				cycle, len(model), rep.OpsAcked, db.LastSeq())
 		}
+	}
+	if cfg.ValueLog {
+		c := db.ValueLogCounters()
+		rep.VlogAppends += c.Appends
+		rep.VlogRelocations += c.GCRelocations
+		rep.VlogReclaimed += c.GCSegmentsReclaimed
 	}
 	err = db.Close()
 	db = nil

@@ -39,6 +39,32 @@ func TestCrashTortureSeeds(t *testing.T) {
 	}
 }
 
+// TestCrashTortureValueLog runs the harness with key-value separation
+// active: padded values straddle the threshold, value-log GC races the
+// armed crash plans and runs again right after every recovery, and the
+// usual sweep verifies every key — which now exercises pointer
+// resolution against relocated and reclaimed segments.
+func TestCrashTortureValueLog(t *testing.T) {
+	cycles := 30
+	if testing.Short() {
+		cycles = 8
+	}
+	rep, err := RunTorture(TortureConfig{Seed: 7, Cycles: cycles, Ops: 300, ValueLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OpsAcked == 0 || rep.KeysChecked == 0 {
+		t.Fatalf("torture run did no work: %+v", rep)
+	}
+	if rep.VlogAppends == 0 {
+		t.Fatalf("no values routed through the value log: %+v", rep)
+	}
+	if rep.VlogReclaimed == 0 {
+		t.Fatalf("value-log GC reclaimed nothing across %d cycles: %+v", rep.Cycles, rep)
+	}
+	t.Log(rep.String())
+}
+
 // TestCrashTortureNoWAL exercises the DisableWAL configuration: acked
 // updates in the DRAM buffer are legitimately lost on crash, but flushed
 // state must still recover consistently and leak no regions.

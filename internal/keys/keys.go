@@ -29,6 +29,13 @@ const (
 	// inserted into skip lists; the engine keeps them in a small per-version
 	// side table (see core/rangedel.go).
 	KindRangeDelete Kind = 2
+	// KindValuePtr marks a key-value write whose value bytes live in the
+	// value log (key-value separation, core's vlog integration): the
+	// entry's value is a 16-byte vlog.Addr instead of the bytes. Pointer
+	// entries flow through WAL, memtables, PMTables, merges, and
+	// iterators exactly like KindSet; only the final read resolves the
+	// indirection.
+	KindValuePtr Kind = 3
 )
 
 // MaxSeq is the largest representable sequence number (56 bits, as in

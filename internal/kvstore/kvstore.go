@@ -15,6 +15,20 @@ var ErrNotFound = errors.New("kvstore: not found")
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("kvstore: closed")
 
+// ErrDegraded wraps the first background failure once a store has latched
+// itself read-only. The message keeps the engine's historical wording so
+// it round-trips the network protocol's error payloads unchanged.
+var ErrDegraded = errors.New("miodb: store degraded to read-only after background error")
+
+// ErrSnapshotUnsupported is returned by snapshot capture on stores that
+// cannot pin long-lived consistent views (SSD-mode stores).
+var ErrSnapshotUnsupported = errors.New("miodb: snapshots are not supported on SSD-mode stores")
+
+// ErrValueLogCorrupt reports a value-log pointer that failed to resolve:
+// an unknown segment, an out-of-bounds address, or a checksum mismatch —
+// an invariant violation, not an expected runtime condition.
+var ErrValueLogCorrupt = errors.New("vlog: value log corrupt")
+
 // BatchOp is one operation inside a client batch: a put, a delete when
 // Delete is set (Value is ignored), or a range delete when RangeDelete is
 // set — then Key is the inclusive start and Value the exclusive end of
@@ -69,6 +83,19 @@ type SnapshotView interface {
 // of protocol ops.
 type Snapshotter interface {
 	SnapshotView() (SnapshotView, error)
+}
+
+// ValueLogger is implemented by stores with key-value separation: large
+// values live in a segmented value log and the LSM structure stores
+// compact addresses in their place. Tools probe for it to detect
+// value-log-capable stores and refuse descriptively otherwise.
+type ValueLogger interface {
+	// ValueLogEnabled reports whether separation is active (a store may
+	// implement the interface with separation configured off).
+	ValueLogEnabled() bool
+	// RunValueLogGC reclaims eligible value-log segments until none
+	// qualifies and returns the number of segments reclaimed.
+	RunValueLogGC() (int, error)
 }
 
 // Store is the uniform surface the benchmark harness drives.

@@ -57,6 +57,13 @@ type Merge struct {
 	// it. nil means migrate everything. Set before Run.
 	Dead func(key []byte, seq uint64, kind keys.Kind) bool
 
+	// OnDrop, when non-nil, observes every entry the merge physically
+	// drops (its value bytes and kind). The engine feeds value-log
+	// dead-space accounting with it. Invoked outside the locked migration
+	// windows; dropped nodes stay readable until their arena is released,
+	// so the slice is valid for the call. Set before Run.
+	OnDrop func(value []byte, kind keys.Kind)
+
 	pos  atomic.Uint64 // seqlock; odd while a node migrates
 	mu   sync.Mutex    // merger holds per migration; reader fallback path
 	mark atomic.Uint64 // vaddr.Addr of the in-flight node (0 = none)
@@ -164,6 +171,9 @@ func (m *Merge) step(lastKey *[]byte, lastSeq *uint64, lastValid *bool) bool {
 	m.mu.Unlock()
 
 	if drop {
+		if m.OnDrop != nil {
+			m.OnDrop(n.Value(), n.Kind())
+		}
 		// lastKey/lastSeq deliberately unchanged: a dropped node was not
 		// migrated, so it cannot be the superseding version for the next
 		// node's dup decision.
@@ -191,6 +201,9 @@ func (m *Merge) step(lastKey *[]byte, lastSeq *uint64, lastValid *bool) bool {
 		m.garbage += succ.Size()
 		m.pos.Add(1)
 		m.mu.Unlock()
+		if m.OnDrop != nil {
+			m.OnDrop(succ.Value(), succ.Kind())
+		}
 	}
 	*lastKey = append((*lastKey)[:0], key...)
 	*lastSeq = n.Seq()
@@ -401,6 +414,9 @@ func (m *Merge) Resume(markAddr vaddr.Addr) *Table {
 		// Re-decide: does the oldtable already hold a newer version?
 		if ex := m.Old.list.FindGE(key); !ex.IsNil() && bytes.Equal(ex.Key(), key) && ex.Seq() > seq {
 			m.garbage += n.Size() // duplicate: drop for good
+			if m.OnDrop != nil {
+				m.OnDrop(n.Value(), n.Kind())
+			}
 		} else {
 			m.Old.list.InsertNode(n)
 			for {
@@ -409,6 +425,9 @@ func (m *Merge) Resume(markAddr vaddr.Addr) *Table {
 					break
 				}
 				m.garbage += d.Size()
+				if m.OnDrop != nil {
+					m.OnDrop(d.Value(), d.Kind())
+				}
 			}
 			m.moved++
 		}

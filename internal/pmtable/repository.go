@@ -141,6 +141,17 @@ type AbsorbPolicy struct {
 	// snapshot readers (and lands point tombstones as repository nodes
 	// instead of applying them). nil = always drop.
 	Drop func(newerSeq uint64) bool
+	// OnDrop, when non-nil, observes every entry the absorb physically
+	// drops — table entries not copied in (superseded, skipped, shadowed)
+	// and repository nodes unlinked in place. Feeds value-log dead-space
+	// accounting.
+	OnDrop func(value []byte, kind keys.Kind)
+}
+
+func (p AbsorbPolicy) onDrop(value []byte, kind keys.Kind) {
+	if p.OnDrop != nil {
+		p.OnDrop(value, kind)
+	}
 }
 
 func (p AbsorbPolicy) canDrop(newerSeq uint64) bool {
@@ -164,17 +175,20 @@ func (r *Repository) AbsorbWith(t *Table, p AbsorbPolicy) error {
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		key := it.Key()
 		if lastValid && bytes.Equal(key, lastKey) {
+			p.onDrop(it.Value(), it.Kind())
 			continue // older version within the same table
 		}
 		lastKey = append(lastKey[:0], key...)
 		lastValid = true
 		if p.Skip != nil && p.Skip(key, it.Seq(), it.Kind()) {
+			p.onDrop(it.Value(), it.Kind())
 			continue // covered by a range tombstone
 		}
 
 		existing := r.list.FindGE(key)
 		hasExisting := !existing.IsNil() && bytes.Equal(existing.Key(), key)
 		if hasExisting && existing.Seq() >= it.Seq() {
+			p.onDrop(it.Value(), it.Kind())
 			continue // repository already newer (defensive)
 		}
 		if it.Kind() == keys.KindDelete {
@@ -189,6 +203,7 @@ func (r *Repository) AbsorbWith(t *Table, p AbsorbPolicy) error {
 					}
 					if removed := r.list.Remove(key, ex.Seq()); !removed.IsNil() {
 						r.garbage += removed.Size()
+						p.onDrop(removed.Value(), removed.Kind())
 					}
 				}
 				continue
@@ -214,6 +229,7 @@ func (r *Repository) AbsorbWith(t *Table, p AbsorbPolicy) error {
 				break
 			}
 			r.garbage += d.Size()
+			p.onDrop(d.Value(), d.Kind())
 		}
 	}
 	t.MarkReclaimable()
@@ -232,21 +248,29 @@ func (r *Repository) Release() { r.dev.Release(r.region) }
 // write (it is real write amplification, amortized by triggering only
 // when garbage exceeds a multiple of live data).
 func (r *Repository) Compacted(chunkSize int) (*Repository, error) {
-	return r.CompactedWith(chunkSize, nil)
+	return r.CompactedWith(chunkSize, nil, nil)
 }
 
-// CompactedWith is Compacted with a deadness predicate. The fresh
-// repository is a brand-new object no existing reader references, so it
-// can clean unconditionally: only the newest version of each key is
-// copied, point tombstones are dropped (nothing below the bottom level to
-// shadow), and keys whose newest version dead reports (range-tombstone
-// covered) are omitted entirely — along with their older versions, which
-// any covering tombstone necessarily also covers. Pinned snapshots keep
-// reading the old repository object until their versions retire.
-func (r *Repository) CompactedWith(chunkSize int, dead func(key []byte, seq uint64, kind keys.Kind) bool) (*Repository, error) {
+// CompactedWith is Compacted with a deadness predicate and a drop
+// observer (both optional). The fresh repository is a brand-new object no
+// existing reader references, so it can clean unconditionally: only the
+// newest version of each key is copied, point tombstones are dropped
+// (nothing below the bottom level to shadow), and keys whose newest
+// version dead reports (range-tombstone covered) are omitted entirely —
+// along with their older versions, which any covering tombstone
+// necessarily also covers. Pinned snapshots keep reading the old
+// repository object until their versions retire. onDrop observes every
+// entry not carried into the fresh repository (value-log dead-space
+// accounting).
+func (r *Repository) CompactedWith(chunkSize int, dead func(key []byte, seq uint64, kind keys.Kind) bool, onDrop func(value []byte, kind keys.Kind)) (*Repository, error) {
 	nr, err := NewRepository(r.dev, chunkSize)
 	if err != nil {
 		return nil, err
+	}
+	drop := func(value []byte, kind keys.Kind) {
+		if onDrop != nil {
+			onDrop(value, kind)
+		}
 	}
 	var lastKey []byte
 	lastValid := false
@@ -254,6 +278,7 @@ func (r *Repository) CompactedWith(chunkSize int, dead func(key []byte, seq uint
 	for it.SeekToFirst(); it.Valid(); it.Next() {
 		key := it.Key()
 		if lastValid && bytes.Equal(key, lastKey) {
+			drop(it.Value(), it.Kind())
 			continue // superseded version retained for a snapshot
 		}
 		lastKey = append(lastKey[:0], key...)
@@ -262,6 +287,7 @@ func (r *Repository) CompactedWith(chunkSize int, dead func(key []byte, seq uint
 			continue
 		}
 		if dead != nil && dead(key, it.Seq(), it.Kind()) {
+			drop(it.Value(), it.Kind())
 			continue
 		}
 		if err := nr.list.Insert(key, it.Value(), it.Seq(), it.Kind()); err != nil {

@@ -341,6 +341,39 @@ func (r *Router) ResetCounters() {
 	}
 }
 
+// ValueLogEnabled reports whether key-value separation is active (shards
+// share one configuration, so probing the first is exact) — the
+// kvstore.ValueLogger capability probe.
+func (r *Router) ValueLogEnabled() bool {
+	return len(r.shards) > 0 && r.shards[0].ValueLogEnabled()
+}
+
+// RunValueLogGC reclaims eligible value-log segments on every shard,
+// shard-concurrently, and returns the total number reclaimed.
+func (r *Router) RunValueLogGC() (int, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		first error
+	)
+	for _, db := range r.shards {
+		wg.Add(1)
+		go func(db *core.DB) {
+			defer wg.Done()
+			n, err := db.RunValueLogGC()
+			mu.Lock()
+			total += n
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(db)
+	}
+	wg.Wait()
+	return total, first
+}
+
 // Err reports the first latched shard error, if any. A non-nil result
 // wraps core.ErrDegraded: that shard has latched itself read-only and
 // refuses writes for its slice of the keyspace, while healthy shards

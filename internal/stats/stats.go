@@ -389,12 +389,41 @@ type Snapshot struct {
 	Devices            []DeviceCounters
 	WriteAmplification float64
 
+	// ValueLog describes the key-value-separation value log (attached by
+	// the store via AttachValueLog; zero when separation is off).
+	ValueLog ValueLogCounters
+
 	// Shards holds the per-shard breakdown when this snapshot aggregates
 	// a hash-partitioned store (see Aggregate); nil for single-engine
 	// stores. Counters in the parent snapshot are sums across shards,
 	// stall durations are maxima (shards stall in parallel, so the sum
 	// would overstate wall-clock impact).
 	Shards []Snapshot
+}
+
+// ValueLogCounters is the value log's accounting: segment population,
+// live-vs-dead bytes, append traffic, and GC work (relocations and
+// reclaimed segments). DeadRatio is dead bytes over total segment bytes.
+type ValueLogCounters struct {
+	Enabled             bool
+	Segments            int64
+	SegmentBytes        int64
+	LiveBytes           int64
+	DeadRatio           float64
+	Appends             int64
+	AppendedBytes       int64
+	GCRelocations       int64
+	GCRelocatedBytes    int64
+	GCSegmentsReclaimed int64
+	GCReclaimedBytes    int64
+}
+
+// AttachValueLog fills the snapshot's value-log section.
+func (s *Snapshot) AttachValueLog(v ValueLogCounters) {
+	if v.SegmentBytes > 0 {
+		v.DeadRatio = float64(v.SegmentBytes-v.LiveBytes) / float64(v.SegmentBytes)
+	}
+	s.ValueLog = v
 }
 
 // Aggregate combines per-shard snapshots into one store-level snapshot:
@@ -475,6 +504,21 @@ func Aggregate(shards []Snapshot) Snapshot {
 			out.Devices[i].BytesRead += d.BytesRead
 			out.Devices[i].BytesWritten += d.BytesWritten
 		}
+		if s.ValueLog.Enabled {
+			out.ValueLog.Enabled = true
+		}
+		out.ValueLog.Segments += s.ValueLog.Segments
+		out.ValueLog.SegmentBytes += s.ValueLog.SegmentBytes
+		out.ValueLog.LiveBytes += s.ValueLog.LiveBytes
+		out.ValueLog.Appends += s.ValueLog.Appends
+		out.ValueLog.AppendedBytes += s.ValueLog.AppendedBytes
+		out.ValueLog.GCRelocations += s.ValueLog.GCRelocations
+		out.ValueLog.GCRelocatedBytes += s.ValueLog.GCRelocatedBytes
+		out.ValueLog.GCSegmentsReclaimed += s.ValueLog.GCSegmentsReclaimed
+		out.ValueLog.GCReclaimedBytes += s.ValueLog.GCReclaimedBytes
+	}
+	if out.ValueLog.SegmentBytes > 0 {
+		out.ValueLog.DeadRatio = float64(out.ValueLog.SegmentBytes-out.ValueLog.LiveBytes) / float64(out.ValueLog.SegmentBytes)
 	}
 	for i := range levels {
 		l := &levels[i]

@@ -1,0 +1,677 @@
+// Package vlog implements the value log behind MioDB's key-value
+// separation (DESIGN.md §14). Values at or above a configurable threshold
+// are appended to segmented logs — NVM arenas by default, files on the
+// simulated SSD tier when offloaded — and the LSM structure stores a
+// compact 16-byte address in their place. Compaction then moves pointers,
+// not value bytes: the write-amplification win WiscKey-style separation
+// is known for, applied to the paper's NVM-resident design.
+//
+// A segment is append-only and immutable once sealed. Liveness is tracked
+// per segment as advisory dead-byte counts (fed by the engine's compaction
+// drop hooks and by GC relocation itself); reclamation is a scan of a
+// sealed candidate segment that re-commits still-live values through the
+// normal write path and then frees the segment. The engine defers the
+// actual free onto its epoch/version machinery so that no pinned snapshot
+// or in-flight reader can observe a reclaimed address — see core's
+// value-log GC for the safety argument.
+package vlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"miodb/internal/kvstore"
+	"miodb/internal/nvm"
+	"miodb/internal/vaddr"
+	"miodb/internal/vfs"
+)
+
+// ErrCorrupt reports a value-log entry that failed validation: an unknown
+// segment, an out-of-bounds address, or a checksum mismatch. Reaching it
+// from a live read means the pointer and the log disagree — an invariant
+// violation, not an expected runtime condition. The sentinel lives in
+// kvstore (as ErrValueLogCorrupt) so every layer shares one identity.
+var ErrCorrupt = kvstore.ErrValueLogCorrupt
+
+// Addr locates one entry inside the value log: segment id, byte offset of
+// the entry header within the segment, and the total entry length
+// (header + key + value).
+type Addr struct {
+	Seg uint32
+	Off int64
+	Len uint32
+}
+
+// AddrSize is the encoded size of an Addr — the bytes a pointer entry
+// occupies in place of its value throughout the LSM structure.
+const AddrSize = 16
+
+// Encode appends the 16-byte encoding of a to dst.
+func (a Addr) Encode(dst []byte) []byte {
+	var b [AddrSize]byte
+	binary.LittleEndian.PutUint32(b[0:4], a.Seg)
+	binary.LittleEndian.PutUint64(b[4:12], uint64(a.Off))
+	binary.LittleEndian.PutUint32(b[12:16], a.Len)
+	return append(dst, b[:]...)
+}
+
+// DecodeAddr parses a pointer produced by Encode.
+func DecodeAddr(b []byte) (Addr, bool) {
+	if len(b) != AddrSize {
+		return Addr{}, false
+	}
+	return Addr{
+		Seg: binary.LittleEndian.Uint32(b[0:4]),
+		Off: int64(binary.LittleEndian.Uint64(b[4:12])),
+		Len: binary.LittleEndian.Uint32(b[12:16]),
+	}, true
+}
+
+// Entry layout inside a segment:
+//
+//	[ crc32 u32 | keyLen u32 | valLen u32 | seq u64 | key | value ]
+//
+// The checksum covers everything after itself. The key rides along so
+// that GC can decide liveness (and recovery scans can rebuild segment
+// extents) from the log alone.
+const entryHeaderSize = 20
+
+func alignUp(n int64) int64 { return (n + 7) &^ 7 }
+
+// Config sizes a Store.
+type Config struct {
+	// SegmentSize is the soft capacity of one segment; an oversized entry
+	// gets a dedicated segment of its own.
+	SegmentSize int
+	// GCDeadRatio is the dead-byte fraction at which a sealed segment
+	// becomes a reclamation candidate.
+	GCDeadRatio float64
+}
+
+// segment is one append-only log extent: an NVM arena region, or a file
+// on the SSD tier. size and live are atomics because readers and the
+// dead-byte accounting hooks run without the store mutex.
+type segment struct {
+	id     uint32
+	region *vaddr.Region // NVM-backed
+	name   string        // SSD-backed
+	w      *vfs.Writer
+	r      *vfs.Reader
+	cap    int64
+	size   atomic.Int64
+	live   atomic.Int64
+	sealed atomic.Bool // GC candidate scans read it without the store mutex
+
+	// condemned latches once a reclaimer has claimed the segment: its free
+	// is queued (epoch-deferred), so PickGC must stop offering it — the
+	// segment stays installed and readable until the free actually runs.
+	condemned atomic.Bool
+}
+
+func (g *segment) deadRatio() float64 {
+	size := g.size.Load()
+	if size <= 0 {
+		return 1 // an empty sealed segment is pure overhead
+	}
+	return float64(size-g.live.Load()) / float64(size)
+}
+
+// Counters is a snapshot of value-log accounting (feeds stats.Snapshot).
+type Counters struct {
+	Segments            int64
+	SegmentBytes        int64
+	LiveBytes           int64
+	Appends             int64
+	AppendedBytes       int64
+	GCRelocations       int64
+	GCRelocatedBytes    int64
+	GCSegmentsReclaimed int64
+	GCReclaimedBytes    int64
+}
+
+// DeadRatio is the dead-space fraction across all segment bytes.
+func (c Counters) DeadRatio() float64 {
+	if c.SegmentBytes <= 0 {
+		return 0
+	}
+	return float64(c.SegmentBytes-c.LiveBytes) / float64(c.SegmentBytes)
+}
+
+// Entry is one decoded log record, yielded by Scan.
+type Entry struct {
+	Key, Value []byte
+	Seq        uint64
+	Addr       Addr
+}
+
+// Store is a segmented value log. Appends are serialized by the caller
+// (they run under the engine's commit lock); reads are lock-free against
+// a copy-on-write segment map, mirroring how vaddr resolves regions.
+type Store struct {
+	dev  *nvm.Device // NVM backing (nil when on SSD)
+	disk *vfs.Disk   // SSD backing (nil when on NVM)
+	cfg  Config
+
+	// OnNewSegment, when non-nil, is invoked synchronously right after a
+	// fresh segment is installed, before any entry lands in it. The engine
+	// logs a manifest record here so recovery re-attaches the segment
+	// before WAL replay commits pointers into it. It runs WITHOUT the
+	// store mutex held (the callback takes engine locks that themselves
+	// order before this store's mutex); an error uninstalls the segment
+	// and aborts the append.
+	OnNewSegment func(id uint32, regionIndex uint32, name string) error
+
+	mu     sync.Mutex
+	segs   atomic.Pointer[map[uint32]*segment]
+	active *segment
+	nextID uint32
+
+	appends, appendedBytes        atomic.Int64
+	relocations, relocatedBytes   atomic.Int64
+	reclaimedSegs, reclaimedBytes atomic.Int64
+}
+
+// NewNVM creates a value log over byte-addressable NVM arenas.
+func NewNVM(dev *nvm.Device, cfg Config) *Store {
+	s := &Store{dev: dev, cfg: cfg}
+	empty := map[uint32]*segment{}
+	s.segs.Store(&empty)
+	return s
+}
+
+// NewSSD creates a value log over files on the simulated SSD tier.
+func NewSSD(disk *vfs.Disk, cfg Config) *Store {
+	s := &Store{disk: disk, cfg: cfg}
+	empty := map[uint32]*segment{}
+	s.segs.Store(&empty)
+	return s
+}
+
+// OnSSD reports whether segments live on the SSD tier.
+func (s *Store) OnSSD() bool { return s.disk != nil }
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) lookup(id uint32) *segment {
+	return (*s.segs.Load())[id]
+}
+
+// installLocked publishes the segment map with g added. Caller holds s.mu.
+func (s *Store) installLocked(g *segment) {
+	cur := *s.segs.Load()
+	next := make(map[uint32]*segment, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	next[g.id] = g
+	s.segs.Store(&next)
+}
+
+// removeLocked unpublishes the segment with the given id. Caller holds s.mu.
+func (s *Store) removeLocked(id uint32) *segment {
+	cur := *s.segs.Load()
+	g := cur[id]
+	if g == nil {
+		return nil
+	}
+	next := make(map[uint32]*segment, len(cur))
+	for k, v := range cur {
+		if k != id {
+			next[k] = v
+		}
+	}
+	s.segs.Store(&next)
+	return g
+}
+
+// newSegment creates, installs, and announces a fresh segment whose
+// capacity is at least minCap bytes. Install happens before the
+// OnNewSegment announcement so a concurrently rolled manifest snapshot
+// can never miss the segment; on announcement failure the (still empty)
+// segment is uninstalled and its backing released. Callers are the
+// serialized appender — never holding s.mu.
+func (s *Store) newSegment(minCap int64) (*segment, error) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID = id + 1
+	g := &segment{id: id}
+	if s.dev != nil {
+		chunk := s.cfg.SegmentSize
+		if int64(chunk) < minCap {
+			chunk = int(minCap)
+		}
+		region := s.dev.NewRegion(chunk)
+		g.region = region
+		g.cap = int64(region.ChunkSize()) // pow2-rounded: keeps every segment single-chunk
+	} else {
+		g.name = fmt.Sprintf("vlog-%06d", id)
+		g.cap = int64(s.cfg.SegmentSize)
+		if g.cap < minCap {
+			g.cap = minCap
+		}
+		g.w = s.disk.Create(g.name)
+		r, err := s.disk.Open(g.name)
+		if err != nil {
+			s.mu.Unlock()
+			s.disk.Remove(g.name)
+			return nil, err
+		}
+		g.r = r
+	}
+	if s.active != nil {
+		// The segment being rolled past is full (or errored): seal it so it
+		// becomes a GC candidate.
+		s.active.sealed.Store(true)
+	}
+	s.installLocked(g)
+	s.active = g
+	s.mu.Unlock()
+
+	if s.OnNewSegment != nil {
+		var err error
+		if g.region != nil {
+			err = s.OnNewSegment(id, g.region.Index(), "")
+		} else {
+			err = s.OnNewSegment(id, 0, g.name)
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.removeLocked(id)
+			if s.active == g {
+				s.active = nil
+			}
+			s.mu.Unlock()
+			if g.region != nil {
+				s.dev.Release(g.region)
+			} else {
+				s.disk.Remove(g.name)
+			}
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Append stores (key, value, seq) and returns the entry's address. Any
+// write error seals the current segment so torn bytes only ever sit at a
+// sealed segment's tail — where the recovery scan stops — and later
+// appends land in a fresh segment.
+func (s *Store) Append(key, value []byte, seq uint64) (Addr, error) {
+	entryLen := entryHeaderSize + len(key) + len(value)
+	buf := make([]byte, entryLen)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(key)))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(value)))
+	binary.LittleEndian.PutUint64(buf[12:20], seq)
+	copy(buf[entryHeaderSize:], key)
+	copy(buf[entryHeaderSize+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:]))
+
+	s.mu.Lock()
+	g := s.active
+	s.mu.Unlock()
+	if g == nil || g.sealed.Load() || g.size.Load()+int64(entryLen) > g.cap ||
+		g.size.Load() >= int64(s.cfg.SegmentSize) {
+		var err error
+		if g, err = s.newSegment(int64(entryLen)); err != nil {
+			return Addr{}, err
+		}
+	}
+
+	off := g.size.Load()
+	if g.region != nil {
+		// Gate the whole entry against the fault plan up front; a torn
+		// outcome leaves a prefix on the media, exactly like a torn file
+		// write, and the crc catches it at scan time.
+		if out := s.dev.CheckWrite(entryLen); out.Err != nil {
+			if out.Torn > 0 {
+				if a, aerr := g.region.Alloc(entryLen); aerr == nil {
+					g.region.Write(a, buf[:out.Torn])
+					g.size.Store(off + alignUp(int64(entryLen)))
+				}
+			}
+			g.sealed.Store(true)
+			return Addr{}, out.Err
+		}
+		a, err := g.region.Alloc(entryLen)
+		if err != nil {
+			g.sealed.Store(true)
+			return Addr{}, err
+		}
+		g.region.Write(a, buf)
+		off = a.Offset()
+	} else {
+		if _, err := g.w.Write(buf); err != nil {
+			g.size.Store(g.w.Offset())
+			g.sealed.Store(true)
+			return Addr{}, err
+		}
+	}
+	g.size.Store(off + alignUp(int64(entryLen)))
+	g.live.Add(int64(entryLen))
+	s.appends.Add(1)
+	s.appendedBytes.Add(int64(entryLen))
+	return Addr{Seg: g.id, Off: off, Len: uint32(entryLen)}, nil
+}
+
+// Read resolves a pointer to its (key, value, seq). The returned slices
+// alias log storage for NVM segments and must be copied before the caller
+// releases its version pin. A failure is ErrCorrupt (wrapped with
+// detail): unknown segment, out-of-bounds address, or checksum mismatch.
+func (s *Store) Read(a Addr) (key, value []byte, seq uint64, err error) {
+	g := s.lookup(a.Seg)
+	if g == nil {
+		return nil, nil, 0, fmt.Errorf("%w: pointer into unknown segment %d", ErrCorrupt, a.Seg)
+	}
+	if a.Len < entryHeaderSize || a.Off < 0 || a.Off+int64(a.Len) > g.size.Load() {
+		return nil, nil, 0, fmt.Errorf("%w: address %d:%d+%d out of bounds", ErrCorrupt, a.Seg, a.Off, a.Len)
+	}
+	var buf []byte
+	if g.region != nil {
+		buf = g.region.Read(g.region.Base().Add(a.Off), int(a.Len))
+	} else {
+		buf = make([]byte, a.Len)
+		if _, rerr := g.r.ReadAt(buf, a.Off); rerr != nil {
+			return nil, nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, rerr)
+		}
+	}
+	return decodeEntry(buf, a)
+}
+
+func decodeEntry(buf []byte, a Addr) (key, value []byte, seq uint64, err error) {
+	crc := binary.LittleEndian.Uint32(buf[0:4])
+	keyLen := binary.LittleEndian.Uint32(buf[4:8])
+	valLen := binary.LittleEndian.Uint32(buf[8:12])
+	seq = binary.LittleEndian.Uint64(buf[12:20])
+	if entryHeaderSize+int(keyLen)+int(valLen) != len(buf) {
+		return nil, nil, 0, fmt.Errorf("%w: entry at %d:%d length mismatch", ErrCorrupt, a.Seg, a.Off)
+	}
+	if crc32.ChecksumIEEE(buf[4:]) != crc {
+		return nil, nil, 0, fmt.Errorf("%w: checksum mismatch at %d:%d", ErrCorrupt, a.Seg, a.Off)
+	}
+	key = buf[entryHeaderSize : entryHeaderSize+keyLen]
+	value = buf[entryHeaderSize+keyLen:]
+	return key, value, seq, nil
+}
+
+// MarkDead records that the entry at a is no longer referenced by the LSM
+// structure (dropped by a merge, superseded, or relocated). The count is
+// advisory — it steers GC candidate selection; the GC scan itself decides
+// per-entry liveness. Unknown segments (already reclaimed) are ignored.
+func (s *Store) MarkDead(a Addr) {
+	g := s.lookup(a.Seg)
+	if g == nil {
+		return
+	}
+	// Clamp at zero: double-marks (replays, duplicate drop notifications)
+	// must not drive the advisory count negative.
+	for {
+		cur := g.live.Load()
+		next := cur - int64(a.Len)
+		if next < 0 {
+			next = 0
+		}
+		if g.live.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// SealActive closes the current segment; the next append opens a fresh
+// one. Recovery calls it so replayed segments are never appended to.
+func (s *Store) SealActive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active != nil {
+		s.active.sealed.Store(true)
+	}
+}
+
+// sealFullLocked is used by PickGC so a filled-but-active segment can
+// become a candidate without waiting for the next append.
+func (s *Store) sealFullLocked() {
+	if s.active != nil && !s.active.sealed.Load() && s.active.size.Load() >= int64(s.cfg.SegmentSize) {
+		s.active.sealed.Store(true)
+	}
+}
+
+// PickGC returns the sealed segment with the highest dead ratio at or
+// above the configured threshold, or ok=false when nothing qualifies.
+func (s *Store) PickGC() (id uint32, ok bool) {
+	s.mu.Lock()
+	s.sealFullLocked()
+	s.mu.Unlock()
+	best := -1.0
+	for _, g := range *s.segs.Load() {
+		if !g.sealed.Load() || g.condemned.Load() {
+			continue
+		}
+		if r := g.deadRatio(); r >= s.cfg.GCDeadRatio && r > best {
+			best = r
+			id = g.id
+			ok = true
+		}
+	}
+	return id, ok
+}
+
+// Scan iterates the entries of one segment in append order, stopping at
+// the first invalid entry (a torn tail) or when fn returns false. The
+// Entry's slices are only valid during the callback.
+func (s *Store) Scan(id uint32, fn func(e Entry) bool) error {
+	g := s.lookup(id)
+	if g == nil {
+		return fmt.Errorf("%w: scan of unknown segment %d", ErrCorrupt, id)
+	}
+	size := g.size.Load()
+	var off int64
+	for off+entryHeaderSize <= size {
+		var hdr []byte
+		if g.region != nil {
+			hdr = g.region.Read(g.region.Base().Add(off), entryHeaderSize)
+		} else {
+			hdr = make([]byte, entryHeaderSize)
+			if _, err := g.r.ReadAt(hdr, off); err != nil {
+				return nil // torn tail
+			}
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+		valLen := binary.LittleEndian.Uint32(hdr[8:12])
+		entryLen := int64(entryHeaderSize) + int64(keyLen) + int64(valLen)
+		if keyLen == 0 || off+entryLen > size {
+			return nil // zero-fill or truncated: end of valid data
+		}
+		a := Addr{Seg: id, Off: off, Len: uint32(entryLen)}
+		var buf []byte
+		if g.region != nil {
+			buf = g.region.Read(g.region.Base().Add(off), int(entryLen))
+		} else {
+			buf = make([]byte, entryLen)
+			if _, err := g.r.ReadAt(buf, off); err != nil {
+				return nil
+			}
+		}
+		key, value, seq, err := decodeEntry(buf, a)
+		if err != nil {
+			return nil // torn entry: nothing after it was ever acknowledged
+		}
+		if !fn(Entry{Key: key, Value: value, Seq: seq, Addr: a}) {
+			return nil
+		}
+		off += alignUp(entryLen)
+	}
+	return nil
+}
+
+// Condemn claims a segment for reclamation: exactly one caller gets true
+// per segment lifetime. A condemned segment stays installed and readable
+// (epoch-pinned readers may still resolve into it) but PickGC no longer
+// offers it — the claimant owns logging the free and queueing Free.
+func (s *Store) Condemn(id uint32) bool {
+	g := s.lookup(id)
+	if g == nil {
+		return false
+	}
+	if !g.condemned.CompareAndSwap(false, true) {
+		return false
+	}
+	// Reclamation is logically complete here (the claimant makes it durable
+	// before queueing the deferred free), so the counters report it now —
+	// Free only returns the memory.
+	s.reclaimedSegs.Add(1)
+	s.reclaimedBytes.Add(g.size.Load())
+	return true
+}
+
+// Free removes a segment from the store and releases its backing memory.
+// The engine calls it only once no reader, snapshot, or pinned version
+// can still resolve addresses into the segment (epoch-deferred).
+func (s *Store) Free(id uint32) {
+	s.mu.Lock()
+	g := s.removeLocked(id)
+	if g != nil && s.active == g {
+		s.active = nil
+	}
+	s.mu.Unlock()
+	if g == nil {
+		return
+	}
+	if g.region != nil {
+		s.dev.Release(g.region)
+	} else {
+		s.disk.Remove(g.name)
+	}
+}
+
+// AddRelocation accounts one live value moved by GC.
+func (s *Store) AddRelocation(bytes int64) {
+	s.relocations.Add(1)
+	s.relocatedBytes.Add(bytes)
+}
+
+// Attach re-installs a recovered NVM segment from its region, rebuilding
+// its extent with a checksum-validated scan (torn tails are excluded).
+// Live bytes are conservatively reset to the full extent — GC relearns
+// dead space from compaction drops; it can only be delayed, never unsafe.
+// The segment is sealed: recovery never appends to replayed segments.
+func (s *Store) Attach(id uint32, region *vaddr.Region) {
+	g := &segment{id: id, region: region, cap: int64(region.ChunkSize())}
+	g.sealed.Store(true)
+	size := scanExtent(region)
+	g.size.Store(size)
+	g.live.Store(size)
+	s.mu.Lock()
+	s.installLocked(g)
+	if id >= s.nextID {
+		s.nextID = id + 1
+	}
+	s.mu.Unlock()
+}
+
+// scanExtent walks crc-valid entries from offset 0 and returns the byte
+// extent of the valid prefix.
+func scanExtent(region *vaddr.Region) int64 {
+	limit := region.Size()
+	var off int64
+	for off+entryHeaderSize <= limit {
+		hdr := region.Read(region.Base().Add(off), entryHeaderSize)
+		keyLen := binary.LittleEndian.Uint32(hdr[4:8])
+		valLen := binary.LittleEndian.Uint32(hdr[8:12])
+		entryLen := int64(entryHeaderSize) + int64(keyLen) + int64(valLen)
+		if keyLen == 0 || off+entryLen > limit {
+			break
+		}
+		buf := region.Read(region.Base().Add(off), int(entryLen))
+		if _, _, _, err := decodeEntry(buf, Addr{Off: off, Len: uint32(entryLen)}); err != nil {
+			break
+		}
+		off += alignUp(entryLen)
+	}
+	return off
+}
+
+// Segments returns the ids of all installed segments, and Regions the NVM
+// regions backing them — the leak audit's view of what the value log owns.
+func (s *Store) Segments() []uint32 {
+	m := *s.segs.Load()
+	out := make([]uint32, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Regions returns the NVM regions backing installed segments.
+func (s *Store) Regions() []*vaddr.Region {
+	m := *s.segs.Load()
+	out := make([]*vaddr.Region, 0, len(m))
+	for _, g := range m {
+		if g.region != nil {
+			out = append(out, g.region)
+		}
+	}
+	return out
+}
+
+// SegmentRef identifies one installed NVM segment for manifest snapshots.
+type SegmentRef struct {
+	ID     uint32
+	Region uint32
+}
+
+// SnapshotState returns the next segment id and the installed NVM
+// segments sorted by id — what a manifest full-state snapshot embeds.
+// SSD segments are excluded (not crash-recoverable).
+func (s *Store) SnapshotState() (next uint32, segs []SegmentRef) {
+	s.mu.Lock()
+	next = s.nextID
+	s.mu.Unlock()
+	for id, g := range *s.segs.Load() {
+		if g.region != nil {
+			segs = append(segs, SegmentRef{ID: id, Region: g.region.Index()})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].ID < segs[j].ID })
+	return next, segs
+}
+
+// SetNextID raises the next segment id to at least id. Recovery restores
+// the persisted counter so reclaimed segment ids are never reused.
+func (s *Store) SetNextID(id uint32) {
+	s.mu.Lock()
+	if id > s.nextID {
+		s.nextID = id
+	}
+	s.mu.Unlock()
+}
+
+// RegionIndex returns the NVM region index of a segment (recovery uses it
+// to match manifest records), or false for SSD segments.
+func (s *Store) RegionIndex(id uint32) (uint32, bool) {
+	g := s.lookup(id)
+	if g == nil || g.region == nil {
+		return 0, false
+	}
+	return g.region.Index(), true
+}
+
+// Counters returns a snapshot of the store's accounting.
+func (s *Store) Counters() Counters {
+	var c Counters
+	for _, g := range *s.segs.Load() {
+		c.Segments++
+		c.SegmentBytes += g.size.Load()
+		c.LiveBytes += g.live.Load()
+	}
+	c.Appends = s.appends.Load()
+	c.AppendedBytes = s.appendedBytes.Load()
+	c.GCRelocations = s.relocations.Load()
+	c.GCRelocatedBytes = s.relocatedBytes.Load()
+	c.GCSegmentsReclaimed = s.reclaimedSegs.Load()
+	c.GCReclaimedBytes = s.reclaimedBytes.Load()
+	return c
+}

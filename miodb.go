@@ -60,28 +60,9 @@ import (
 	"miodb/internal/stats"
 )
 
-// ErrNotFound is returned by Get when a key has no live value.
-var ErrNotFound = core.ErrNotFound
-
-// ErrClosed is returned by operations on a closed DB.
-var ErrClosed = core.ErrClosed
-
-// ErrSnapshotClosed is returned by reads on a closed Snapshot.
-var ErrSnapshotClosed = core.ErrSnapshotClosed
-
-// ErrSnapshotUnsupported is returned by Snapshot on SSD-mode stores
-// (Options.UseSSD): the on-SSD compactor rewrites tables in place with no
-// version pinning, so a long-lived consistent view cannot be guaranteed
-// there.
-var ErrSnapshotUnsupported = core.ErrSnapshotUnsupported
-
-// ErrDegraded wraps the first background failure once a store has latched
-// itself read-only: writes are refused, reads keep serving the last
-// consistent state. errors.Is(err, ErrDegraded) identifies the mode; Err
-// returns the latched cause. On a sharded store only the failed shard
-// refuses writes; healthy shards keep serving their slice of the
-// keyspace.
-var ErrDegraded = core.ErrDegraded
+// The error sentinels (ErrNotFound, ErrClosed, ErrSnapshotClosed,
+// ErrSnapshotUnsupported, ErrDegraded, ErrValueLogCorrupt) live in
+// errors.go.
 
 // Options configures a store. The zero value (or nil) uses the paper's
 // configuration scaled for a single machine: 64 KB MemTables, 8
@@ -143,6 +124,17 @@ type Options struct {
 	// See DESIGN.md §12.
 	Governor *GovernorOptions
 
+	// ValueLog enables key-value separation: values at or above
+	// ValueLogOptions.Threshold are appended to a segmented value log and
+	// the LSM structure stores a compact 16-byte address in their place,
+	// so flushes and compactions move pointers instead of value bytes —
+	// the write-amplification win WiscKey-style separation is known for.
+	// Dead log space is garbage-collected by relocating still-live values,
+	// with reclamation deferred past every open snapshot and in-flight
+	// read. Nil — the default — keeps the engine byte-for-byte
+	// value-inline. See DESIGN.md §14.
+	ValueLog *ValueLogOptions
+
 	// Admission bounds the write path's elastic-buffer backlog (per shard
 	// when Shards > 1). Nil — the default — is the paper's stall-free
 	// behavior: writers rotate full MemTables into the unbounded elastic
@@ -175,6 +167,15 @@ type GovernorOptions = shard.GovernorOptions
 // zero disable the corresponding trigger; see core.AdmissionOptions for
 // field semantics.
 type AdmissionOptions = core.AdmissionOptions
+
+// ValueLogOptions configures key-value separation (Options.ValueLog).
+// Zero fields select defaults: Threshold 1 KiB, SegmentSize 4× the
+// memtable, GCDeadRatio 0.5. OnSSD places segments on the simulated SSD
+// tier (the large-value offload arm); SSD-resident value logs are not
+// covered by Checkpoint images or crash recovery, and both refuse rather
+// than silently dropping the data. See core.ValueLogOptions for field
+// semantics.
+type ValueLogOptions = core.ValueLogOptions
 
 // maxLevels bounds Options.Levels: beyond this each extra level is one
 // more idle compaction goroutine per shard with no measurable benefit
@@ -219,6 +220,17 @@ func (opts *Options) validate() error {
 			return fmt.Errorf("miodb: invalid Governor options: Budget/FloorBytes/Interval/HysteresisFrac must be ≥ 0 and Alpha in [0, 1] (0 selects each default)")
 		}
 	}
+	if vc := opts.ValueLog; vc != nil {
+		if vc.Threshold < 0 {
+			return fmt.Errorf("miodb: invalid ValueLog.Threshold %d: must be ≥ 0 (0 selects the default)", vc.Threshold)
+		}
+		if vc.SegmentSize < 0 {
+			return fmt.Errorf("miodb: invalid ValueLog.SegmentSize %d: must be ≥ 0 (0 selects the default)", vc.SegmentSize)
+		}
+		if vc.GCDeadRatio < 0 || vc.GCDeadRatio > 1 {
+			return fmt.Errorf("miodb: invalid ValueLog.GCDeadRatio %g: must be in [0, 1] (0 selects the default)", vc.GCDeadRatio)
+		}
+	}
 	if ac := opts.Admission; ac != nil {
 		if ac.SoftImms < 0 || ac.HardImms < 0 || ac.SoftL0Bytes < 0 || ac.HardL0Bytes < 0 {
 			return fmt.Errorf("miodb: invalid Admission thresholds: must be ≥ 0 (0 disables a trigger)")
@@ -243,6 +255,7 @@ func (opts *Options) coreOptions() core.Options {
 	co.BloomBitsPerKey = opts.BloomBitsPerKey
 	co.DisableWAL = opts.DisableWAL
 	co.Admission = opts.Admission
+	co.ValueLog = opts.ValueLog
 	co.Simulate = opts.Simulate
 	co.TimeScale = opts.TimeScale
 	if opts.DisableGroupCommit {
@@ -519,6 +532,32 @@ func (db *DB) SnapshotView() (kvstore.SnapshotView, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// ValueLogEnabled reports whether the store was opened with key-value
+// separation (Options.ValueLog) — the kvstore.ValueLogger capability
+// probe tools use to detect value-log-capable stores.
+func (db *DB) ValueLogEnabled() bool {
+	if db.router != nil {
+		return db.router.ValueLogEnabled()
+	}
+	return db.single.ValueLogEnabled()
+}
+
+// RunValueLogGC reclaims value-log segments until none qualifies: every
+// sealed segment whose dead-space fraction is at or above the configured
+// GCDeadRatio has its live values relocated through the normal write path
+// and its memory queued for release once no snapshot or in-flight read
+// can still reference it. It returns the number of segments reclaimed
+// (across all shards on a sharded store). The background GC loop runs the
+// same reclamation on compaction activity; calling this forces a full
+// pass now. A no-op returning 0 when separation is off. Safe to call
+// concurrently with reads, writes, and snapshots.
+func (db *DB) RunValueLogGC() (int, error) {
+	if db.router != nil {
+		return db.router.RunValueLogGC()
+	}
+	return db.single.RunValueLogGC()
 }
 
 // Flush forces the DRAM buffer(s) out and waits for all background

@@ -133,6 +133,10 @@ func TestOpenRejectsInvalidOptions(t *testing.T) {
 		{"negative-timescale", &Options{TimeScale: -0.5}, "TimeScale"},
 		{"negative-shards", &Options{Shards: -1}, "Shards"},
 		{"too-many-shards", &Options{Shards: 1025}, "Shards"},
+		{"negative-vlog-threshold", &Options{ValueLog: &ValueLogOptions{Threshold: -1}}, "ValueLog.Threshold"},
+		{"negative-vlog-segment", &Options{ValueLog: &ValueLogOptions{SegmentSize: -1}}, "ValueLog.SegmentSize"},
+		{"vlog-ratio-above-one", &Options{ValueLog: &ValueLogOptions{GCDeadRatio: 1.5}}, "ValueLog.GCDeadRatio"},
+		{"vlog-ratio-negative", &Options{ValueLog: &ValueLogOptions{GCDeadRatio: -0.1}}, "ValueLog.GCDeadRatio"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -298,6 +302,92 @@ func TestShardedPublicAPI(t *testing.T) {
 	sdb.Close()
 	if _, err := OpenImage(single, &Options{Shards: 4}); err == nil || !strings.Contains(err.Error(), "shard-count mismatch") {
 		t.Fatalf("single image with Shards=4: err = %v", err)
+	}
+}
+
+// TestPublicValueLog exercises Options.ValueLog end to end through the
+// public surface, single-engine and sharded: large values round-trip
+// through the log, small ones stay inline, the ValueLogger capability
+// probe answers correctly on both arms, and an explicit GC pass after a
+// heavy overwrite succeeds while every key still reads back its newest
+// value.
+func TestPublicValueLog(t *testing.T) {
+	big := func(tag string, n int) []byte {
+		v := bytes.Repeat([]byte(tag+"|"), n/(len(tag)+1)+1)
+		return v[:n]
+	}
+	for _, tc := range []struct {
+		name string
+		opts *Options
+	}{
+		{"single", &Options{MemTableSize: 16 << 10, Levels: 3, ValueLog: &ValueLogOptions{Threshold: 256, SegmentSize: 16 << 10}}},
+		{"sharded", &Options{Shards: 2, MemTableSize: 16 << 10, Levels: 3, ValueLog: &ValueLogOptions{Threshold: 256, SegmentSize: 16 << 10}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, err := Open(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			var probe kvstore.ValueLogger = db
+			if !probe.ValueLogEnabled() {
+				t.Fatal("ValueLogEnabled() = false on a value-log store")
+			}
+			// Overwrite a small working set with large values many times so
+			// early segments go mostly dead, plus inline-sized values to
+			// cover the threshold split.
+			for round := 0; round < 20; round++ {
+				for i := 0; i < 16; i++ {
+					k := []byte(fmt.Sprintf("big:%02d", i))
+					if err := db.Put(k, big(fmt.Sprintf("r%d-i%d", round, i), 600)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for i := 0; i < 16; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("small:%02d", i)), []byte("inline")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := db.RunValueLogGC(); err != nil {
+				t.Fatalf("RunValueLogGC: %v", err)
+			}
+			for i := 0; i < 16; i++ {
+				k := []byte(fmt.Sprintf("big:%02d", i))
+				want := big(fmt.Sprintf("r19-i%d", i), 600)
+				if v, err := db.Get(k); err != nil || !bytes.Equal(v, want) {
+					t.Fatalf("Get(%s) after GC = %d bytes, %v", k, len(v), err)
+				}
+				if v, err := db.Get([]byte(fmt.Sprintf("small:%02d", i))); err != nil || string(v) != "inline" {
+					t.Fatalf("small Get = %q, %v", v, err)
+				}
+			}
+			// Scans resolve pointers transparently too.
+			n := 0
+			err = db.Scan([]byte("big:"), 16, func(k, v []byte) bool {
+				if len(v) != 600 {
+					t.Fatalf("scan yielded %d-byte value for %q", len(v), k)
+				}
+				n++
+				return true
+			})
+			if err != nil || n != 16 {
+				t.Fatalf("scan n=%d err=%v", n, err)
+			}
+		})
+	}
+	// The nil arm answers the capability probe negatively and treats GC
+	// as a no-op.
+	plain, err := Open(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.ValueLogEnabled() {
+		t.Fatal("ValueLogEnabled() = true without Options.ValueLog")
+	}
+	if n, err := plain.RunValueLogGC(); n != 0 || err != nil {
+		t.Fatalf("RunValueLogGC on plain store = %d, %v", n, err)
 	}
 }
 
